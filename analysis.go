@@ -1,0 +1,147 @@
+package macrochip
+
+import (
+	"macrochip/internal/complexity"
+	"macrochip/internal/harness"
+	"macrochip/internal/layout"
+	"macrochip/internal/networks"
+	"macrochip/internal/photonics"
+	"macrochip/internal/power"
+	"macrochip/internal/traffic"
+)
+
+// PowerRow is one row of the paper's table 5.
+type PowerRow struct {
+	Network string
+	// LossFactor is the laser power multiplier needed to compensate the
+	// network's worst-case extra optical loss.
+	LossFactor float64
+	// LaserWatts is the total static laser power.
+	LaserWatts float64
+}
+
+// PowerTable computes table 5 (network optical power) from the component
+// and loss models.
+func (s *System) PowerTable() []PowerRow {
+	rows := []PowerRow{}
+	for _, r := range power.Table5(s.p) {
+		rows = append(rows, PowerRow{Network: r.Network, LossFactor: r.LossFactor, LaserWatts: r.LaserWatts})
+	}
+	return rows
+}
+
+// ComponentRow is one row of the paper's table 6.
+type ComponentRow struct {
+	Network    string
+	Tx, Rx     int
+	Waveguides int
+	Switches   int
+	SwitchKind string
+}
+
+// ComponentTable computes table 6 (total optical component counts).
+func (s *System) ComponentTable() []ComponentRow {
+	rows := []ComponentRow{}
+	for _, r := range complexity.Table6(s.p) {
+		rows = append(rows, ComponentRow{
+			Network: r.Network, Tx: r.Tx, Rx: r.Rx,
+			Waveguides: r.Waveguides, Switches: r.Switches, SwitchKind: r.SwitchKind,
+		})
+	}
+	return rows
+}
+
+// FloorplanRow estimates one network's physical routing plant.
+type FloorplanRow struct {
+	Network string
+	// WaveguideCM is total routed waveguide length; RoutingAreaCM2 is that
+	// length at the 10 µm global waveguide pitch.
+	WaveguideCM, RoutingAreaCM2 float64
+	// Crossings counts same-layer waveguide crossings (crosstalk sites) —
+	// zero for every design except the circuit-switched torus (§4.5).
+	Crossings int
+	// InterLayerCouplers counts OPxC vias between the two routing layers.
+	InterLayerCouplers int
+}
+
+// Floorplans estimates the substrate routing plant of every network:
+// waveguide length, area, crossings, and inter-layer couplers.
+func (s *System) Floorplans() []FloorplanRow {
+	rows := []FloorplanRow{}
+	for _, f := range layout.Table(s.p) {
+		rows = append(rows, FloorplanRow{
+			Network: f.Network, WaveguideCM: f.WaveguideCM,
+			RoutingAreaCM2: f.RoutingAreaCM2, Crossings: f.Crossings,
+			InterLayerCouplers: f.InterLayerCouplers,
+		})
+	}
+	return rows
+}
+
+// LinkBudget returns the canonical un-switched site-to-site link budget of
+// paper §2 (17 dB total; 4 dB margin at 0 dBm launch) rendered as text.
+func (s *System) LinkBudget() string {
+	b := photonics.UnswitchedLink(s.p.Comp, 6)
+	return b.String()
+}
+
+// StaticLaserWatts returns one network's table-5 laser power.
+func (s *System) StaticLaserWatts(n Network) float64 {
+	return power.StaticLaserWatts(networks.Kind(n), s.p)
+}
+
+// YieldReport summarizes the Monte-Carlo link-margin analysis for one
+// network under component-loss variation (10% of nominal per component).
+type YieldReport struct {
+	Network Network
+	Trials  int
+	// Yield is the fraction of sampled worst-case links that still close
+	// (margin ≥ 0 against the −21 dBm receiver sensitivity).
+	Yield float64
+	// MeanMarginDB, P5MarginDB and MinMarginDB describe the margin
+	// distribution; the nominal design margin is 4 dB for every network.
+	MeanMarginDB, P5MarginDB, MinMarginDB float64
+}
+
+// LinkYield runs a Monte-Carlo link-margin analysis: each optical
+// component's insertion loss varies with a 1σ of 10% of nominal, and the
+// report gives the fraction of links that still close plus the margin
+// distribution. Networks whose worst-case paths cross many switches (the
+// circuit-switched torus) spread wider and yield lower than the switchless
+// point-to-point design.
+func (s *System) LinkYield(n Network, trials int) YieldReport {
+	kind := networks.Kind(n)
+	loss := power.Loss(kind, s.p)
+	hops := 0
+	switch kind {
+	case networks.CircuitSwitched:
+		hops = s.p.CircuitWorstSwitchHops
+	case networks.TwoPhase:
+		hops = 7
+	case networks.TwoPhaseALT:
+		hops = 6
+	}
+	r := photonics.LinkYield(s.p.Comp, loss, hops, trials, photonics.DefaultTolerance(s.p.Comp), s.seed)
+	return YieldReport{
+		Network: n, Trials: r.Trials, Yield: r.Yield,
+		MeanMarginDB: float64(r.MeanMarginDB),
+		P5MarginDB:   float64(r.P5MarginDB),
+		MinMarginDB:  float64(r.MinMarginDB),
+	}
+}
+
+// SaturationLoad bisects for the highest offered load (fraction of per-site
+// peak) the network sustains under the given pattern — the paper's
+// "sustains X% of peak" numbers of §6.1.
+func (s *System) SaturationLoad(n Network, pattern string, lo, hi float64) (float64, error) {
+	pat, err := traffic.ByName(pattern, s.p.Grid)
+	if err != nil {
+		return 0, err
+	}
+	cfg := harness.DefaultLoadPointConfig()
+	cfg.Params = s.p
+	cfg.Network = networks.Kind(n)
+	cfg.Pattern = pat
+	cfg.Seed = s.seed
+	return harness.SaturationSearch(cfg, lo, hi, 0.01), nil
+}

@@ -1,0 +1,123 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section (§6) from simulation:
+//
+//	figures -fig 6            latency vs offered load (4 panels × 5 networks)
+//	figures -fig 7            speedup vs circuit-switched (11 workloads × 6 networks)
+//	figures -fig 8            latency per coherence operation
+//	figures -fig 9            router energy % (limited point-to-point)
+//	figures -fig 10           energy-delay product normalized to point-to-point
+//	figures -table 5          network optical power
+//	figures -table 6          component counts
+//	figures -all              everything
+//
+// -quick shrinks the simulation windows/quotas for a fast smoke run;
+// -scale and -seed control the benchmark studies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"macrochip/internal/core"
+	"macrochip/internal/harness"
+	"macrochip/internal/sim"
+	"macrochip/internal/workload"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate (6-10)")
+	table := flag.Int("table", 0, "table number to regenerate (5 or 6)")
+	all := flag.Bool("all", false, "regenerate every figure and table")
+	quick := flag.Bool("quick", false, "use short simulation windows")
+	scale := flag.Float64("scale", 1.0, "workload instruction-quota scale for figures 7-10")
+	seed := flag.Int64("seed", 1, "random seed")
+	csvDir := flag.String("csv", "", "also write CSV files into this directory")
+	flag.Parse()
+	outDir = *csvDir
+
+	p := core.DefaultParams()
+	if *all {
+		runFig6(p, *quick, *seed)
+		runStudyFigures(p, *quick, *scale, *seed, 7, 8, 9, 10)
+		fmt.Println(harness.RenderTable5(p))
+		fmt.Println(harness.RenderTable6(p))
+		return
+	}
+	switch {
+	case *fig == 6:
+		runFig6(p, *quick, *seed)
+	case *fig >= 7 && *fig <= 10:
+		runStudyFigures(p, *quick, *scale, *seed, *fig)
+	case *table == 5:
+		fmt.Println(harness.RenderTable5(p))
+	case *table == 6:
+		fmt.Println(harness.RenderTable6(p))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// outDir, when non-empty, receives CSV copies of every generated series.
+var outDir string
+
+func runFig6(p core.Params, quick bool, seed int64) {
+	cfg := harness.DefaultLoadPointConfig()
+	cfg.Params = p
+	cfg.Seed = seed
+	if quick {
+		cfg.Warmup = 500 * sim.Nanosecond
+		cfg.Measure = 1500 * sim.Nanosecond
+	}
+	for _, panel := range harness.Figure6(cfg) {
+		fmt.Println(harness.RenderFigure6(panel))
+		writeCSV("fig6_"+panel.Pattern+".csv", func(w io.Writer) error {
+			return harness.WriteFigure6CSV(w, panel)
+		})
+	}
+}
+
+// writeCSV writes one CSV artifact into outDir (no-op when unset).
+func writeCSV(name string, fn func(io.Writer) error) {
+	if outDir == "" {
+		return
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(filepath.Join(outDir, name))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func runStudyFigures(p core.Params, quick bool, scale float64, seed int64, figs ...int) {
+	s := workload.Scale(scale)
+	if quick {
+		s = workload.Scale(scale * 0.1)
+	}
+	rows := harness.FullStudy(p, s, seed)
+	writeCSV("study.csv", func(w io.Writer) error { return harness.WriteStudyCSV(w, rows) })
+	for _, f := range figs {
+		switch f {
+		case 7:
+			fmt.Println(harness.RenderFigure7(rows))
+		case 8:
+			fmt.Println(harness.RenderFigure8(rows))
+		case 9:
+			fmt.Println(harness.RenderFigure9(rows))
+		case 10:
+			fmt.Println(harness.RenderFigure10(rows))
+		}
+	}
+}

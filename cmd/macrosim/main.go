@@ -1,0 +1,78 @@
+// Command macrosim runs a single macrochip simulation point and prints its
+// metrics — the smallest unit of the paper's evaluation.
+//
+// Raw-packet mode (figure-6 style):
+//
+//	macrosim -network point-to-point -pattern uniform -load 0.5
+//
+// Coherence-workload mode (figure-7/8 style):
+//
+//	macrosim -network two-phase -workload swaptions -scale 0.5
+//
+// Networks: token-ring, circuit-switched, point-to-point,
+// limited-point-to-point, two-phase, two-phase-alt.
+// Patterns: uniform, transpose, neighbor, butterfly.
+// Workloads: radix, barnes, blackscholes, densities, forces, swaptions,
+// all-to-all, transpose, transpose-MS, neighbor, butterfly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"macrochip"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("macrosim: ")
+	network := flag.String("network", "point-to-point", "network architecture")
+	pattern := flag.String("pattern", "", "synthetic pattern for raw-packet mode")
+	load := flag.Float64("load", 0.1, "offered load (fraction of 320 GB/s per site)")
+	wl := flag.String("workload", "", "coherence workload for benchmark mode")
+	scale := flag.Float64("scale", 1.0, "workload instruction-quota scale")
+	seed := flag.Int64("seed", 1, "random seed")
+	dumpConfig := flag.Bool("dumpconfig", false, "print the full parameter block as JSON and exit")
+	flag.Parse()
+
+	sys := macrochip.NewSystem(macrochip.WithSeed(*seed))
+	if *dumpConfig {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sys.Params()); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Println(sys)
+
+	switch {
+	case *wl != "":
+		r, err := sys.RunWorkload(macrochip.Network(*network), *wl, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("workload %-14s network %s\n", r.Workload, r.Network)
+		fmt.Printf("  runtime           %12.1f ns\n", r.RuntimeNS)
+		fmt.Printf("  coherence ops     %12d\n", r.Ops)
+		fmt.Printf("  latency per op    %12.1f ns\n", r.LatencyPerOpNS)
+		fmt.Printf("  network energy    %12.4g J\n", r.NetworkEnergyJ)
+		fmt.Printf("  router energy     %12.2f %% of total\n", r.RouterEnergyFraction*100)
+		fmt.Printf("  EDP               %12.4g J·s\n", r.EDP)
+	case *pattern != "":
+		pt, err := sys.RunLoadPoint(macrochip.Network(*network), *pattern, *load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pattern %-10s network %s  load %.1f%%\n", *pattern, *network, *load*100)
+		fmt.Printf("  mean latency      %12.1f ns\n", pt.MeanLatencyNS)
+		fmt.Printf("  max latency       %12.1f ns\n", pt.MaxLatencyNS)
+		fmt.Printf("  accepted          %12.1f GB/s (offered %.1f GB/s)\n", pt.ThroughputGBs, pt.OfferedGBs)
+		fmt.Printf("  saturated         %12v\n", pt.Saturated)
+	default:
+		log.Fatal("pass -pattern for raw-packet mode or -workload for benchmark mode")
+	}
+}

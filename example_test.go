@@ -1,0 +1,74 @@
+package macrochip_test
+
+import (
+	"fmt"
+
+	"macrochip"
+)
+
+// The analytic surfaces of the API (tables 1/5/6, budgets, scaling) are
+// deterministic, so they make good testable examples.
+
+func ExampleNewSystem() {
+	sys := macrochip.NewSystem()
+	fmt.Println(sys)
+	// Output: macrochip 8×8, 8 cores/site, 320 GB/s/site, 20.5 TB/s peak, seed 1
+}
+
+func ExampleSystem_PowerTable() {
+	sys := macrochip.NewSystem()
+	for _, r := range sys.PowerTable() {
+		if r.Network == "point-to-point" || r.Network == "token-ring" {
+			fmt.Printf("%s %.0f× %.0f W\n", r.Network, r.LossFactor, r.LaserWatts)
+		}
+	}
+	// Output:
+	// token-ring 19× 156 W
+	// point-to-point 1× 8 W
+}
+
+func ExampleSystem_ComponentTable() {
+	sys := macrochip.NewSystem()
+	for _, r := range sys.ComponentTable() {
+		if r.Network == "Point-to-Point" {
+			fmt.Printf("Tx=%d Rx=%d waveguides=%d switches=%d\n",
+				r.Tx, r.Rx, r.Waveguides, r.Switches)
+		}
+	}
+	// Output: Tx=8192 Rx=8192 waveguides=3072 switches=0
+}
+
+func ExampleSystem_LinkBudget() {
+	fmt.Println(macrochip.NewSystem().LinkBudget())
+	// Output:
+	// modulator (on resonance)       4.00 dB
+	// WDM multiplexer                2.50 dB
+	// OPxC down to substrate         1.20 dB
+	// global waveguide (worst case)   6.00 dB
+	// OPxC up to receiver            1.20 dB
+	// pass-by drop filters           0.60 dB
+	// drop filter (selected)         1.50 dB
+	// total                         17.00 dB
+}
+
+func ExampleScalingStudy() {
+	rows := macrochip.ScalingStudy([]int{8, 16})
+	for _, r := range rows {
+		tok := r.Cells[macrochip.TokenRing]
+		fmt.Printf("%d sites: token-ring ring loss %.1f dB\n", r.Sites, tok.ExtraLossDB)
+	}
+	// Output:
+	// 64 sites: token-ring ring loss 12.8 dB
+	// 256 sites: token-ring ring loss 51.2 dB
+}
+
+func ExampleMemoryTechnologies() {
+	for _, m := range macrochip.MemoryTechnologies() {
+		fmt.Printf("%s %.1f ns\n", m.Name, m.FetchLatencyNS)
+	}
+	// Output:
+	// on-package 0.0 ns
+	// fiber-dram 56.8 ns
+	// fiber-stacked 25.9 ns
+	// fiber-scm 263.6 ns
+}

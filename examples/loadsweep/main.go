@@ -1,0 +1,68 @@
+// Loadsweep reproduces one panel of the paper's figure 6 from the public
+// API: latency vs offered load for all five networks under a chosen traffic
+// pattern, rendered as an ASCII table with saturation markers. Run with:
+//
+//	go run ./examples/loadsweep [-pattern uniform|transpose|neighbor|butterfly]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"macrochip"
+)
+
+func main() {
+	log.SetFlags(0)
+	pattern := flag.String("pattern", "uniform", "traffic pattern")
+	flag.Parse()
+
+	sys := macrochip.NewSystem(macrochip.WithSeed(1))
+	fmt.Printf("latency vs offered load — %s pattern, 64 B packets (* = saturated)\n\n", *pattern)
+
+	// Sweep every network and remember the curves.
+	curves := map[macrochip.Network][]macrochip.LoadPoint{}
+	var loads []float64
+	for _, n := range macrochip.Networks() {
+		pts, err := sys.SweepLoad(n, *pattern)
+		if err != nil {
+			log.Fatal(err)
+		}
+		curves[n] = pts
+		if loads == nil {
+			for _, p := range pts {
+				loads = append(loads, p.Load)
+			}
+		}
+	}
+
+	fmt.Printf("%8s", "load%")
+	for _, n := range macrochip.Networks() {
+		fmt.Printf(" %22s", n)
+	}
+	fmt.Println()
+	for i, l := range loads {
+		fmt.Printf("%8.2f", l*100)
+		for _, n := range macrochip.Networks() {
+			pt := curves[n][i]
+			mark := " "
+			if pt.Saturated {
+				mark = "*"
+			}
+			fmt.Printf(" %19.1fns%s", pt.MeanLatencyNS, mark)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nhighest unsaturated load per network (the paper's 'sustains X% of peak'):")
+	for _, n := range macrochip.Networks() {
+		best := 0.0
+		for _, pt := range curves[n] {
+			if !pt.Saturated && pt.Load > best {
+				best = pt.Load
+			}
+		}
+		fmt.Printf("  %-24s %5.1f%%\n", n, best*100)
+	}
+}

@@ -1,0 +1,58 @@
+// Messagepassing explores the workload class the paper leaves to future
+// work (§8): bulk-synchronous message-passing kernels. The message-size
+// sweep shows the story inverting relative to cache-coherence traffic — the
+// circuit-switched torus amortizes its path setup over kilobyte messages
+// and approaches parity, while the point-to-point network's narrow 5 GB/s
+// channels become the bulk-transfer bottleneck. Run with:
+//
+//	go run ./examples/messagepassing [-pattern ring]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"macrochip"
+)
+
+func main() {
+	log.SetFlags(0)
+	pattern := flag.String("pattern", "ring", "halo | alltoall | allreduce | ring")
+	flag.Parse()
+
+	sys := macrochip.NewSystem()
+	sizes := []int{64, 1024, 16 * 1024, 256 * 1024}
+
+	fmt.Printf("mean exchange time per iteration (ns) — %s pattern, 4 iterations\n\n", *pattern)
+	fmt.Printf("%10s", "msg size")
+	for _, n := range macrochip.Networks() {
+		fmt.Printf(" %22s", n)
+	}
+	fmt.Println()
+
+	for _, size := range sizes {
+		fmt.Printf("%9dB", size)
+		for _, n := range macrochip.Networks() {
+			r, err := sys.RunMessagePassing(n, *pattern, size, 0, 4)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %22.1f", r.ExchangeNS)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\ncircuit-switched vs point-to-point gap by message size:")
+	for _, size := range sizes {
+		cs, err := sys.RunMessagePassing(macrochip.CircuitSwitched, *pattern, size, 0, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pp, err := sys.RunMessagePassing(macrochip.PointToPoint, *pattern, size, 0, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %9dB: %5.2f× slower\n", size, cs.ExchangeNS/pp.ExchangeNS)
+	}
+}

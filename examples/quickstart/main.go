@@ -1,0 +1,48 @@
+// Quickstart: simulate the macrochip's static WDM point-to-point network
+// under uniform random traffic and under a cache-coherent workload, then
+// print the headline metrics. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"macrochip"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A System is the paper's simulated configuration: an 8×8 macrochip,
+	// 8 cores per site, 320 GB/s of optical bandwidth per site.
+	sys := macrochip.NewSystem(macrochip.WithSeed(42))
+	fmt.Println(sys)
+	fmt.Println()
+
+	// Raw-packet mode: 64-byte packets, uniform random destinations, at
+	// half of the per-site peak bandwidth (figure-6 style).
+	pt, err := sys.RunLoadPoint(macrochip.PointToPoint, "uniform", 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("point-to-point @ 50%% uniform load: %.1f ns mean latency, %.0f GB/s accepted\n",
+		pt.MeanLatencyNS, pt.ThroughputGBs)
+
+	// Coherence mode: the swaptions kernel on two different networks
+	// (figure-7 style). The point-to-point network wins despite its narrow
+	// 5 GB/s channels because it has no arbitration overhead.
+	for _, n := range []macrochip.Network{macrochip.PointToPoint, macrochip.TokenRing} {
+		r, err := sys.RunWorkload(n, "swaptions", 0.2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("swaptions on %-22s: runtime %8.0f ns, %5.1f ns/coherence-op\n",
+			n, r.RuntimeNS, r.LatencyPerOpNS)
+	}
+
+	// The optical engineering behind it: the canonical link budget.
+	fmt.Println("\nun-switched link budget (paper §2):")
+	fmt.Println(sys.LinkBudget())
+}

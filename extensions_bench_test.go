@@ -1,0 +1,96 @@
+// Benchmarks for the repository's extensions beyond the paper's published
+// evaluation: the memory-technology study and message-passing workloads the
+// paper defers to future work (§8), the trace-driven cache/directory mode,
+// the full-scale 2015 target system, and the grid-size scalability study.
+package macrochip_test
+
+import (
+	"fmt"
+	"testing"
+
+	"macrochip"
+)
+
+// BenchmarkExtensionMemoryTech measures how main-memory technology shifts
+// the point-to-point network's coherence latency (paper future work: "the
+// performance impacts of different memory technologies").
+func BenchmarkExtensionMemoryTech(b *testing.B) {
+	for _, tech := range []string{"on-package", "fiber-stacked", "fiber-dram", "fiber-scm"} {
+		b.Run(tech, func(b *testing.B) {
+			sys := macrochip.NewSystem(macrochip.WithMemory(tech))
+			for i := 0; i < b.N; i++ {
+				r, err := sys.RunWorkload(macrochip.PointToPoint, "blackscholes", 0.25)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.LatencyPerOpNS, "lat-per-op-ns")
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionMsgPassing sweeps message size on the ring exchange and
+// reports the circuit-switched network's gap to point-to-point — the
+// crossover where circuit switching's setup cost amortizes.
+func BenchmarkExtensionMsgPassing(b *testing.B) {
+	for _, size := range []int{64, 4096, 262144} {
+		b.Run(fmt.Sprintf("msg=%dB", size), func(b *testing.B) {
+			sys := macrochip.NewSystem()
+			for i := 0; i < b.N; i++ {
+				cs, err := sys.RunMessagePassing(macrochip.CircuitSwitched, "ring", size, 0, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pp, err := sys.RunMessagePassing(macrochip.PointToPoint, "ring", size, 0, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(cs.ExchangeNS/pp.ExchangeNS, "cs-vs-ptp-x")
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionTraceDriven runs the emergent-sharing trace mode on two
+// networks and reports the emergent L2 miss rate.
+func BenchmarkExtensionTraceDriven(b *testing.B) {
+	for _, n := range []macrochip.Network{macrochip.PointToPoint, macrochip.TokenRing} {
+		b.Run(string(n), func(b *testing.B) {
+			sys := macrochip.NewSystem()
+			for i := 0; i < b.N; i++ {
+				r, err := sys.RunTraceWorkload(n, "swaptions", 0.2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.L2MissRate*100, "l2-miss-%")
+				b.ReportMetric(r.LatencyPerOpNS, "lat-per-op-ns")
+			}
+		})
+	}
+}
+
+// BenchmarkFullScale2015 simulates the unscaled §3 target system (512
+// optical channels more per site than the paper's scaled runs) to show the
+// simulator handles it.
+func BenchmarkFullScale2015(b *testing.B) {
+	sys := macrochip.NewSystem(macrochip.WithFullScale2015())
+	for i := 0; i < b.N; i++ {
+		pt, err := sys.RunLoadPoint(macrochip.PointToPoint, "uniform", 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pt.MeanLatencyNS, "mean-ns")
+		b.ReportMetric(pt.ThroughputGBs/1000, "accepted-TBs")
+	}
+}
+
+// BenchmarkExtensionScaling reports the laser-power scaling cliff of the
+// token ring against the point-to-point network's flat loss factor.
+func BenchmarkExtensionScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := macrochip.ScalingStudy([]int{4, 8, 16})
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.Cells[macrochip.TokenRing].LaserWatts, "token-W-at-16x16")
+		b.ReportMetric(last.Cells[macrochip.PointToPoint].LaserWatts, "ptp-W-at-16x16")
+	}
+}

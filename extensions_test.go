@@ -1,0 +1,163 @@
+package macrochip_test
+
+import (
+	"testing"
+
+	"macrochip"
+)
+
+func TestTraceWorkloadAPI(t *testing.T) {
+	sys := macrochip.NewSystem(macrochip.WithSeed(4))
+	names := sys.TraceWorkloads()
+	if len(names) != 6 {
+		t.Fatalf("trace workloads = %v", names)
+	}
+	r, err := sys.RunTraceWorkload(macrochip.PointToPoint, "barnes", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops == 0 || r.L2MissRate <= 0 || r.L2MissRate > 1 {
+		t.Fatalf("trace result implausible: %+v", r)
+	}
+	if r.Workload != "barnes(trace)" {
+		t.Fatalf("workload label = %q", r.Workload)
+	}
+	if _, err := sys.RunTraceWorkload(macrochip.PointToPoint, "nope", 1); err == nil {
+		t.Fatal("unknown trace workload accepted")
+	}
+}
+
+func TestMemoryAPI(t *testing.T) {
+	techs := macrochip.MemoryTechnologies()
+	if len(techs) != 4 {
+		t.Fatalf("memory technologies = %d", len(techs))
+	}
+	if techs[0].Name != "on-package" || techs[0].FetchLatencyNS != 0 {
+		t.Fatalf("baseline = %+v", techs[0])
+	}
+	// The latency ladder must be ordered stacked < dram < scm.
+	byName := map[string]macrochip.MemoryTech{}
+	for _, m := range techs {
+		byName[m.Name] = m
+	}
+	if !(byName["fiber-stacked"].FetchLatencyNS < byName["fiber-dram"].FetchLatencyNS &&
+		byName["fiber-dram"].FetchLatencyNS < byName["fiber-scm"].FetchLatencyNS) {
+		t.Fatalf("latency ladder broken: %+v", techs)
+	}
+
+	// Slower memory must raise coherence latency on the same workload.
+	base := macrochip.NewSystem(macrochip.WithSeed(2))
+	slow := macrochip.NewSystem(macrochip.WithSeed(2), macrochip.WithMemory("fiber-scm"))
+	rb, err := base.RunWorkload(macrochip.PointToPoint, "blackscholes", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := slow.RunWorkload(macrochip.PointToPoint, "blackscholes", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.LatencyPerOpNS <= rb.LatencyPerOpNS {
+		t.Fatalf("fiber-scm latency %.1f not above on-package %.1f",
+			rs.LatencyPerOpNS, rb.LatencyPerOpNS)
+	}
+}
+
+func TestMessagePassingAPI(t *testing.T) {
+	sys := macrochip.NewSystem()
+	if got := len(macrochip.MessagePassingPatterns()); got != 4 {
+		t.Fatalf("patterns = %d", got)
+	}
+	r, err := sys.RunMessagePassing(macrochip.TokenRing, "allreduce", 512, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BytesMoved != uint64(6*64*512*2) {
+		t.Fatalf("bytes = %d", r.BytesMoved)
+	}
+	if r.RuntimeNS < 20 {
+		t.Fatalf("runtime below compute floor: %v", r.RuntimeNS)
+	}
+	if _, err := sys.RunMessagePassing(macrochip.TokenRing, "bogus", 64, 0, 1); err == nil {
+		t.Fatal("bogus pattern accepted")
+	}
+	if _, err := sys.RunMessagePassing(macrochip.Network("bogus"), "ring", 64, 0, 1); err == nil {
+		t.Fatal("bogus network accepted")
+	}
+}
+
+func TestFloorplansAPI(t *testing.T) {
+	rows := macrochip.NewSystem().Floorplans()
+	if len(rows) != 6 {
+		t.Fatalf("floorplan rows = %d", len(rows))
+	}
+	var torusCrossings, others int
+	for _, r := range rows {
+		if r.WaveguideCM <= 0 {
+			t.Errorf("%s has no waveguide plant", r.Network)
+		}
+		if r.Network == "Circuit-Switched" {
+			torusCrossings = r.Crossings
+		} else {
+			others += r.Crossings
+		}
+	}
+	if torusCrossings == 0 || others != 0 {
+		t.Fatalf("crossing distribution wrong: torus=%d others=%d", torusCrossings, others)
+	}
+}
+
+func TestTokenWDMOption(t *testing.T) {
+	base := macrochip.NewSystem()
+	dense := macrochip.NewSystem(macrochip.WithTokenWDM(8))
+	wb := base.StaticLaserWatts(macrochip.TokenRing)
+	wd := dense.StaticLaserWatts(macrochip.TokenRing)
+	// WDM 8 → 51.2 dB of pass-by ring loss: laser power explodes.
+	if wd < 1000*wb {
+		t.Fatalf("WDM-8 token laser %.3g W not ≫ WDM-2 %.3g W", wd, wb)
+	}
+	// And it shrinks the physical waveguide plant 4×.
+	var wgBase, wgDense int
+	for _, r := range base.ComponentTable() {
+		if r.Network == "Token-Ring" {
+			wgBase = r.Waveguides
+		}
+	}
+	for _, r := range dense.ComponentTable() {
+		if r.Network == "Token-Ring" {
+			wgDense = r.Waveguides
+		}
+	}
+	if wgDense*4 != wgBase {
+		t.Fatalf("waveguides %d vs %d, want 4× reduction", wgDense, wgBase)
+	}
+}
+
+func TestLoadPointPercentiles(t *testing.T) {
+	sys := macrochip.NewSystem()
+	pt, err := sys.RunLoadPoint(macrochip.PointToPoint, "uniform", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.P95LatencyNS < pt.MeanLatencyNS/2 {
+		t.Fatalf("p95 %.1f implausibly below mean %.1f", pt.P95LatencyNS, pt.MeanLatencyNS)
+	}
+	if pt.P95LatencyNS > pt.MaxLatencyNS*1.01 {
+		t.Fatalf("p95 %.1f above max %.1f", pt.P95LatencyNS, pt.MaxLatencyNS)
+	}
+}
+
+func TestLinkYieldAPI(t *testing.T) {
+	sys := macrochip.NewSystem(macrochip.WithSeed(3))
+	ptp := sys.LinkYield(macrochip.PointToPoint, 4000)
+	cs := sys.LinkYield(macrochip.CircuitSwitched, 4000)
+	if ptp.Yield <= 0.9 {
+		t.Fatalf("point-to-point link yield = %v", ptp.Yield)
+	}
+	if cs.P5MarginDB >= ptp.P5MarginDB {
+		t.Fatalf("switched path p5 margin %v not below switchless %v",
+			cs.P5MarginDB, ptp.P5MarginDB)
+	}
+	if ptp.MeanMarginDB < 3 || ptp.MeanMarginDB > 5 {
+		t.Fatalf("nominal margin drifted: %v", ptp.MeanMarginDB)
+	}
+}

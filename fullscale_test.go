@@ -1,0 +1,75 @@
+package macrochip_test
+
+import (
+	"testing"
+
+	"macrochip"
+)
+
+func TestFullScale2015Config(t *testing.T) {
+	sys := macrochip.NewSystem(macrochip.WithFullScale2015())
+	p := sys.Params()
+	if p.CoresPerSite != 64 || p.TxPerSite != 1024 {
+		t.Fatalf("full-scale config wrong: %d cores, %d Tx", p.CoresPerSite, p.TxPerSite)
+	}
+	// §3: 2.56 TB/s per site, 160 TB/s aggregate peak.
+	if p.SiteBandwidthGBs != 2560 {
+		t.Fatalf("site bandwidth = %v", p.SiteBandwidthGBs)
+	}
+	if got := p.PeakBandwidthGBs(); got != 163840 {
+		t.Fatalf("peak = %v GB/s, want 163840 (160 TB/s)", got)
+	}
+	// Point-to-point channels widen to 16 λ = 40 GB/s.
+	if got := p.PtPChannelGBs(); got != 40 {
+		t.Fatalf("full-scale ptp channel = %v GB/s, want 40", got)
+	}
+}
+
+func TestFullScale2015Runs(t *testing.T) {
+	// The paper scaled its simulations down 8× for tractability; this run
+	// demonstrates the full 2015 target system simulating end to end.
+	sys := macrochip.NewSystem(macrochip.WithFullScale2015(), macrochip.WithSeed(2))
+	pt, err := sys.RunLoadPoint(macrochip.PointToPoint, "uniform", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Saturated || pt.MeanLatencyNS <= 0 {
+		t.Fatalf("full-scale point-to-point at 30%%: %+v", pt)
+	}
+	// The wider 40 GB/s channels cut the 64 B serialization from 12.8 ns
+	// to 1.6 ns, so unloaded latency drops well below the scaled system's.
+	if pt.MeanLatencyNS > 12 {
+		t.Fatalf("full-scale mean latency = %.1f ns, expected < 12", pt.MeanLatencyNS)
+	}
+}
+
+func TestFullScale2015Power(t *testing.T) {
+	sys := macrochip.NewSystem(macrochip.WithFullScale2015())
+	// 65536 wavelengths at 1 mW and 1× loss ≈ 65.5 W for point-to-point.
+	w := sys.StaticLaserWatts(macrochip.PointToPoint)
+	if w < 65 || w > 66 {
+		t.Fatalf("full-scale ptp laser = %v W, want ~65.5", w)
+	}
+}
+
+func TestScalingStudyPublic(t *testing.T) {
+	rows := macrochip.ScalingStudy([]int{4, 8})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r8 := rows[1]
+	if r8.Sites != 64 {
+		t.Fatalf("N=8 sites = %d", r8.Sites)
+	}
+	ptp := r8.Cells[macrochip.PointToPoint]
+	if ptp.Waveguides != 3072 || ptp.Switches != 0 || ptp.ExtraLossDB != 0 {
+		t.Fatalf("N=8 point-to-point cell = %+v", ptp)
+	}
+	tok := r8.Cells[macrochip.TokenRing]
+	if tok.ExtraLossDB != 12.8 {
+		t.Fatalf("N=8 token cell = %+v", tok)
+	}
+	if rows[0].Cells[macrochip.TokenRing].LaserWatts >= tok.LaserWatts {
+		t.Fatal("token laser power should grow with N")
+	}
+}

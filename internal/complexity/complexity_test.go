@@ -1,0 +1,103 @@
+package complexity
+
+import (
+	"testing"
+
+	"macrochip/internal/core"
+	"macrochip/internal/networks"
+)
+
+// TestTable6Exact pins every row of paper table 6 at the default
+// configuration.
+func TestTable6Exact(t *testing.T) {
+	p := core.DefaultParams()
+	want := []struct {
+		kind             networks.Kind
+		tx, rx, wgs, sws int
+	}{
+		{networks.TokenRing, 512 * 1024, 8192, 32 * 1024, 0},
+		{networks.PointToPoint, 8192, 8192, 3072, 0},
+		{networks.CircuitSwitched, 8192, 8192, 2048, 1024},
+		{networks.LimitedPtP, 8192, 8192, 3072, 128},
+		{networks.TwoPhase, 8192, 8192, 4096, 16 * 1024},
+		{networks.TwoPhaseALT, 16384, 8192, 4096, 15 * 1024},
+	}
+	for _, w := range want {
+		c, err := ForNetwork(w.kind, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Tx != w.tx || c.Rx != w.rx || c.Waveguides != w.wgs || c.Switches != w.sws {
+			t.Errorf("%s: got Tx=%d Rx=%d Wgs=%d Sw=%d, want Tx=%d Rx=%d Wgs=%d Sw=%d",
+				w.kind, c.Tx, c.Rx, c.Waveguides, c.Switches, w.tx, w.rx, w.wgs, w.sws)
+		}
+	}
+}
+
+func TestArbitrationRow(t *testing.T) {
+	c := TwoPhaseArbitration(core.DefaultParams())
+	if c.Tx != 128 || c.Rx != 1024 || c.Waveguides != 24 || c.Switches != 0 {
+		t.Fatalf("arbitration row = Tx=%d Rx=%d Wgs=%d Sw=%d, want 128/1024/24/0",
+			c.Tx, c.Rx, c.Waveguides, c.Switches)
+	}
+}
+
+func TestTable6AllRows(t *testing.T) {
+	rows := Table6(core.DefaultParams())
+	if len(rows) != 7 {
+		t.Fatalf("table 6 has %d rows, want 7", len(rows))
+	}
+	for _, r := range rows {
+		if r.Tx <= 0 || r.Rx <= 0 || r.Waveguides <= 0 {
+			t.Errorf("%s has nonpositive counts: %+v", r.Network, r)
+		}
+		if r.String() == "" {
+			t.Error("empty row rendering")
+		}
+	}
+}
+
+// TestPointToPointScalesWithoutWaveguides checks the §6.4 scalability claim:
+// doubling wavelengths per waveguide keeps the point-to-point waveguide
+// count flat while peak bandwidth doubles.
+func TestPointToPointScalesWithoutWaveguides(t *testing.T) {
+	p := core.DefaultParams()
+	base, _ := ForNetwork(networks.PointToPoint, p)
+	p2 := p
+	p2.WavelengthsPerWaveguide = 16
+	p2.TxPerSite = 256 // keep 16 waveguides/site, double bandwidth
+	p2.RxPerSite = 256
+	dense, _ := ForNetwork(networks.PointToPoint, p2)
+	if dense.Waveguides != base.Waveguides {
+		t.Fatalf("waveguides changed with WDM density: %d vs %d", dense.Waveguides, base.Waveguides)
+	}
+	if dense.Tx != 2*base.Tx {
+		t.Fatalf("Tx should double: %d vs %d", dense.Tx, base.Tx)
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	if _, err := ForNetwork(networks.Kind("bogus"), core.DefaultParams()); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+}
+
+// TestWavelengthCountsDriveTable5 verifies the wavelength counts the power
+// model consumes: 8192 data wavelengths everywhere, doubled for ALT, 128
+// for the arbitration network.
+func TestWavelengthCountsDriveTable5(t *testing.T) {
+	p := core.DefaultParams()
+	for _, k := range networks.Five() {
+		c, _ := ForNetwork(k, p)
+		if c.Wavelengths != 8192 {
+			t.Errorf("%s wavelengths = %d, want 8192", k, c.Wavelengths)
+		}
+	}
+	alt, _ := ForNetwork(networks.TwoPhaseALT, p)
+	if alt.Wavelengths != 16384 {
+		t.Errorf("ALT wavelengths = %d, want 16384", alt.Wavelengths)
+	}
+	if arb := TwoPhaseArbitration(p); arb.Wavelengths != 128 {
+		t.Errorf("arbitration wavelengths = %d, want 128", arb.Wavelengths)
+	}
+}

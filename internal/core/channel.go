@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"macrochip/internal/sim"
+)
+
+// Channel models a fixed-bandwidth FIFO optical (or electronic) link: packets
+// serialize one after another at the channel rate. It tracks only the time
+// the transmitter is next free, which is sufficient for FIFO service with
+// unbounded queueing — the standard open-loop link model.
+type Channel struct {
+	psPerByte float64
+	nextFree  sim.Time
+	// busyPS accumulates occupied transmitter time for utilization
+	// reporting.
+	busyPS sim.Time
+}
+
+// NewChannel returns a channel of the given bandwidth in gigabytes per
+// second.
+func NewChannel(gbPerSec float64) *Channel {
+	if gbPerSec <= 0 {
+		panic(fmt.Sprintf("core: channel bandwidth %v GB/s", gbPerSec))
+	}
+	// 1 GB/s = 1 byte/ns = 1e-3 byte/ps.
+	return &Channel{psPerByte: 1e3 / gbPerSec}
+}
+
+// SerializationTime returns the time to clock `bytes` onto the channel.
+func (c *Channel) SerializationTime(bytes int) sim.Time {
+	t := sim.Time(float64(bytes)*c.psPerByte + 0.5)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Reserve books the channel for a packet of the given size arriving at time
+// `at`, and returns the time the transmission starts and the time the last
+// byte leaves the transmitter. Calls must have non-decreasing logical order
+// (FIFO); `at` values may interleave arbitrarily.
+func (c *Channel) Reserve(at sim.Time, bytes int) (start, end sim.Time) {
+	start = at
+	if c.nextFree > start {
+		start = c.nextFree
+	}
+	ser := c.SerializationTime(bytes)
+	end = start + ser
+	c.nextFree = end
+	c.busyPS += ser
+	return start, end
+}
+
+// ReserveDuration books the channel for an explicit occupancy (for slotted
+// networks whose slots are rounded up from the raw serialization time).
+func (c *Channel) ReserveDuration(at sim.Time, dur sim.Time) (start, end sim.Time) {
+	if dur < 1 {
+		dur = 1
+	}
+	start = at
+	if c.nextFree > start {
+		start = c.nextFree
+	}
+	end = start + dur
+	c.nextFree = end
+	c.busyPS += dur
+	return start, end
+}
+
+// NextFree reports when the transmitter becomes idle.
+func (c *Channel) NextFree() sim.Time { return c.nextFree }
+
+// Backlog returns how long a packet arriving now would wait before starting
+// transmission.
+func (c *Channel) Backlog(now sim.Time) sim.Time {
+	if c.nextFree <= now {
+		return 0
+	}
+	return c.nextFree - now
+}
+
+// BusyTime returns the cumulative transmitter-occupied time.
+func (c *Channel) BusyTime() sim.Time { return c.busyPS }
+
+// Utilization returns busy time divided by elapsed time.
+func (c *Channel) Utilization(elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.busyPS) / float64(elapsed)
+}

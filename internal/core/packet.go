@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"macrochip/internal/geometry"
+	"macrochip/internal/sim"
+)
+
+// MsgClass labels a packet's role. The networks treat all classes alike at
+// the physical layer (the paper's networks are class-agnostic); the class is
+// carried so statistics and the coherence engine can distinguish them.
+type MsgClass uint8
+
+const (
+	// ClassData is a raw payload packet (the 64-byte packets of the
+	// figure-6 throughput study) or a cache-line-carrying coherence reply.
+	ClassData MsgClass = iota
+	// ClassRequest is a coherence request (read/write miss) to a home site.
+	ClassRequest
+	// ClassInvalidate is a directory-initiated invalidation to a sharer.
+	ClassInvalidate
+	// ClassAck is an invalidation acknowledgment or short completion.
+	ClassAck
+	numClasses
+)
+
+// String returns the class name.
+func (c MsgClass) String() string {
+	switch c {
+	case ClassData:
+		return "data"
+	case ClassRequest:
+		return "request"
+	case ClassInvalidate:
+		return "invalidate"
+	case ClassAck:
+		return "ack"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Packet is one network message. Packets are created by traffic generators
+// or the coherence engine and handed to a Network via Inject; the network
+// calls OnDeliver exactly once when the last byte arrives at Dst.
+type Packet struct {
+	// ID is unique within a run (assigned by the Stats sink at injection).
+	ID uint64
+	// Src and Dst are macrochip sites. Src == Dst is legal and uses the
+	// single-cycle intra-site loop-back (paper §6.2).
+	Src, Dst geometry.SiteID
+	// Bytes is the packet size including header.
+	Bytes int
+	// Class labels the packet for statistics.
+	Class MsgClass
+	// Born is the injection time, set by the network front-end.
+	Born sim.Time
+	// Hops counts electronic forwarding hops taken (limited point-to-point
+	// only); used for router energy accounting.
+	Hops int
+	// OnDeliver, if non-nil, runs at delivery time (after statistics are
+	// recorded). The coherence engine uses it to advance transactions.
+	OnDeliver func(p *Packet, at sim.Time)
+}
+
+// Network is one of the five macrochip interconnect models. A Network is
+// bound at construction to a sim.Engine and a Stats sink; Inject may only be
+// called from the engine's event context (or before Run starts).
+type Network interface {
+	// Name returns the table-5/figure-6 display name.
+	Name() string
+	// Inject accepts a packet at the current simulation time. Queueing is
+	// unbounded at the sources (the open-loop load sweep relies on latency
+	// divergence past saturation, not on drops).
+	Inject(p *Packet)
+	// Stats returns the shared delivery/energy statistics sink.
+	Stats() *Stats
+}

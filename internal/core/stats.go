@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"macrochip/internal/sim"
+)
+
+// Stats accumulates delivery latency, throughput, and energy-relevant event
+// counts for one network run. A single Stats sink is shared by a network and
+// its traffic source; the harness reads it after the run.
+//
+// Measurement windowing: latency and throughput statistics only include
+// packets *injected* at or after WarmupStart, so queue fill during warmup
+// does not bias the steady-state numbers.
+type Stats struct {
+	// WarmupStart gates measurement; packets born earlier are delivered but
+	// not counted.
+	WarmupStart sim.Time
+	// MeasureEnd, when non-zero, closes the throughput window: deliveries
+	// after it still count toward latency (they were legitimately slow) but
+	// not toward accepted throughput, so the post-injection drain phase
+	// cannot inflate the bandwidth numbers.
+	MeasureEnd sim.Time
+
+	nextID uint64
+
+	Injected     uint64
+	Delivered    uint64
+	MeasuredPkts uint64
+
+	// Latency accumulators over measured packets (ps).
+	latencySum   float64
+	latencySqSum float64
+	latencyMax   sim.Time
+	hist         LatencyHistogram
+
+	// Throughput accounting: bytes of measured packets delivered inside the
+	// [WarmupStart, MeasureEnd] window.
+	WindowBytes uint64
+
+	// Energy-relevant counters (whole run, not windowed: energy integrates
+	// over everything that happened).
+	//
+	// OpticalTraversals is bytes × optical hops: each entry is one byte
+	// modulated and received once. RouterBytes is bytes passing through an
+	// electronic forwarding router. ArbMessages counts arbitration/control
+	// network messages (two-phase requests+notifications, circuit setup
+	// flits × hops).
+	OpticalTraversalBytes uint64
+	RouterBytes           uint64
+	ArbMessages           uint64
+
+	// PerClass delivery counts.
+	PerClass [numClasses]uint64
+}
+
+// NewStats returns an empty sink with measurement starting at warmup.
+func NewStats(warmup sim.Time) *Stats { return &Stats{WarmupStart: warmup} }
+
+// StampInjection assigns the packet its ID and birth time. Networks call it
+// at the top of Inject.
+func (s *Stats) StampInjection(p *Packet, now sim.Time) {
+	s.nextID++
+	p.ID = s.nextID
+	p.Born = now
+	s.Injected++
+}
+
+// RecordDelivery notes a completed delivery at time `at` and invokes the
+// packet's OnDeliver callback.
+func (s *Stats) RecordDelivery(p *Packet, at sim.Time) {
+	s.Delivered++
+	s.PerClass[p.Class]++
+	if p.Born >= s.WarmupStart {
+		s.MeasuredPkts++
+		lat := at - p.Born
+		s.latencySum += float64(lat)
+		s.latencySqSum += float64(lat) * float64(lat)
+		if lat > s.latencyMax {
+			s.latencyMax = lat
+		}
+		s.hist.Add(lat)
+		if s.MeasureEnd == 0 || at <= s.MeasureEnd {
+			s.WindowBytes += uint64(p.Bytes)
+		}
+	}
+	if p.OnDeliver != nil {
+		p.OnDeliver(p, at)
+	}
+}
+
+// AddOpticalTraversal charges one optical hop of `bytes` bytes (one
+// modulation + one reception).
+func (s *Stats) AddOpticalTraversal(bytes int) {
+	s.OpticalTraversalBytes += uint64(bytes)
+}
+
+// AddRouterBytes charges an electronic router traversal.
+func (s *Stats) AddRouterBytes(bytes int) { s.RouterBytes += uint64(bytes) }
+
+// AddArbMessage counts one arbitration/control message hop.
+func (s *Stats) AddArbMessage() { s.ArbMessages++ }
+
+// MeanLatency returns the average measured latency.
+func (s *Stats) MeanLatency() sim.Time {
+	if s.MeasuredPkts == 0 {
+		return 0
+	}
+	return sim.Time(s.latencySum / float64(s.MeasuredPkts))
+}
+
+// MaxLatency returns the worst measured latency.
+func (s *Stats) MaxLatency() sim.Time { return s.latencyMax }
+
+// LatencyStdDev returns the standard deviation of measured latency.
+func (s *Stats) LatencyStdDev() sim.Time {
+	n := float64(s.MeasuredPkts)
+	if n < 2 {
+		return 0
+	}
+	mean := s.latencySum / n
+	v := s.latencySqSum/n - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return sim.Time(math.Sqrt(v))
+}
+
+// LatencyPercentile estimates the p-th percentile of measured latency from
+// a log₂-bucketed histogram (≤2× bucket resolution).
+func (s *Stats) LatencyPercentile(p float64) sim.Time { return s.hist.Percentile(p) }
+
+// ThroughputGBs returns the accepted throughput (total, all sites) in GB/s:
+// window bytes over the measurement window. It requires MeasureEnd to be
+// set.
+func (s *Stats) ThroughputGBs() float64 {
+	window := s.MeasureEnd - s.WarmupStart
+	if window <= 0 {
+		return 0
+	}
+	// bytes/ps → GB/s: 1 byte/ps = 1000 GB/s.
+	return float64(s.WindowBytes) / float64(window) * 1000
+}
+
+// String summarizes the sink.
+func (s *Stats) String() string {
+	return fmt.Sprintf("injected=%d delivered=%d measured=%d meanLat=%v maxLat=%v thru=%.1fGB/s",
+		s.Injected, s.Delivered, s.MeasuredPkts, s.MeanLatency(), s.MaxLatency(), s.ThroughputGBs())
+}

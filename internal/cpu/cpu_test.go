@@ -1,0 +1,145 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"macrochip/internal/core"
+	"macrochip/internal/cpu"
+	"macrochip/internal/networks"
+	"macrochip/internal/sim"
+	"macrochip/internal/traffic"
+)
+
+func smallParams() core.Params {
+	p := core.DefaultParams()
+	p.CoresPerSite = 2 // shrink the machine for unit tests
+	return p
+}
+
+func run(t *testing.T, b cpu.Benchmark, kind networks.Kind, p core.Params) cpu.Result {
+	t.Helper()
+	eng := sim.NewEngine()
+	st := core.NewStats(0)
+	net := networks.MustNew(kind, eng, p, st)
+	return cpu.Run(b, eng, p, net, st, 11)
+}
+
+func bench(p core.Params) cpu.Benchmark {
+	return cpu.Benchmark{
+		Name: "test", MissPerInstr: 0.04,
+		Mix:          cpu.LessSharing,
+		Pattern:      traffic.Uniform{Grid: p.Grid},
+		InstrPerCore: 500,
+	}
+}
+
+func TestRunCompletes(t *testing.T) {
+	p := smallParams()
+	r := run(t, bench(p), networks.PointToPoint, p)
+	if r.Runtime <= 0 {
+		t.Fatal("no runtime")
+	}
+	if r.Ops == 0 {
+		t.Fatal("no coherence operations")
+	}
+	if r.LatencyPerOp <= 0 || r.MaxLatency < r.LatencyPerOp {
+		t.Fatalf("latency stats implausible: %v/%v", r.LatencyPerOp, r.MaxLatency)
+	}
+	// ~500 instr / 25 per miss × 128 cores ≈ 2500 ops.
+	if r.Ops < 1500 || r.Ops > 4000 {
+		t.Fatalf("ops = %d, expected ~2500", r.Ops)
+	}
+}
+
+func TestRuntimeAtLeastExecutionTime(t *testing.T) {
+	p := smallParams()
+	b := bench(p)
+	r := run(t, b, networks.PointToPoint, p)
+	minimum := p.Cycles(b.InstrPerCore)
+	if r.Runtime < minimum {
+		t.Fatalf("runtime %v below pure execution time %v", r.Runtime, minimum)
+	}
+}
+
+func TestZeroMissRateRunsAtCoreSpeed(t *testing.T) {
+	p := smallParams()
+	b := bench(p)
+	b.MissPerInstr = 0
+	r := run(t, b, networks.PointToPoint, p)
+	if r.Ops != 0 {
+		t.Fatalf("ops = %d with zero miss rate", r.Ops)
+	}
+	if r.Runtime != p.Cycles(b.InstrPerCore) {
+		t.Fatalf("runtime = %v, want %v", r.Runtime, p.Cycles(b.InstrPerCore))
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	p := smallParams()
+	b := bench(p)
+	r1 := run(t, b, networks.PointToPoint, p)
+	r2 := run(t, b, networks.PointToPoint, p)
+	if r1.Runtime != r2.Runtime || r1.Ops != r2.Ops || r1.LatencyPerOp != r2.LatencyPerOp {
+		t.Fatalf("same seed gave different results: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestSlowNetworkSlowsRuntime(t *testing.T) {
+	p := smallParams()
+	b := bench(p)
+	fast := run(t, b, networks.PointToPoint, p)
+	slow := run(t, b, networks.CircuitSwitched, p)
+	if slow.Runtime <= fast.Runtime {
+		t.Fatalf("circuit-switched runtime %v not slower than point-to-point %v",
+			slow.Runtime, fast.Runtime)
+	}
+	if slow.LatencyPerOp <= fast.LatencyPerOp {
+		t.Fatalf("circuit-switched op latency %v not above point-to-point %v",
+			slow.LatencyPerOp, fast.LatencyPerOp)
+	}
+}
+
+func TestMoreSharingGeneratesMoreMessages(t *testing.T) {
+	p := smallParams()
+	ls := bench(p)
+	ms := bench(p)
+	ms.Mix = cpu.MoreSharing
+
+	eng1 := sim.NewEngine()
+	st1 := core.NewStats(0)
+	cpu.Run(ls, eng1, p, networks.MustNew(networks.PointToPoint, eng1, p, st1), st1, 11)
+	eng2 := sim.NewEngine()
+	st2 := core.NewStats(0)
+	cpu.Run(ms, eng2, p, networks.MustNew(networks.PointToPoint, eng2, p, st2), st2, 11)
+
+	perOp1 := float64(st1.Injected) / float64(st1.Delivered)
+	_ = perOp1
+	if st2.Injected <= st1.Injected {
+		t.Fatalf("MS mix injected %d messages, LS %d — MS should be higher",
+			st2.Injected, st1.Injected)
+	}
+}
+
+func TestMixConstants(t *testing.T) {
+	if cpu.LessSharing.PSharers != 0.10 {
+		t.Fatalf("LS sharers prob = %v, want 0.10 (90%% unshared)", cpu.LessSharing.PSharers)
+	}
+	if cpu.MoreSharing.PSharers != 0.40 || cpu.MoreSharing.NSharers != 3 {
+		t.Fatalf("MS mix = %+v, want 40%% with 3 sharers", cpu.MoreSharing)
+	}
+}
+
+func TestMSHRAblationChangesBehavior(t *testing.T) {
+	p := smallParams()
+	b := bench(p)
+	p2 := p
+	p2.MSHRsPerSite = 1
+	wide := run(t, b, networks.PointToPoint, p)
+	narrow := run(t, b, networks.PointToPoint, p2)
+	// With one MSHR per site the cores serialize their misses: runtime
+	// must grow.
+	if narrow.Runtime <= wide.Runtime {
+		t.Fatalf("MSHR=1 runtime %v not above MSHR=%d runtime %v",
+			narrow.Runtime, p.MSHRsPerSite, wide.Runtime)
+	}
+}

@@ -1,0 +1,166 @@
+package directory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"macrochip/internal/geometry"
+)
+
+func TestHomeInterleaving(t *testing.T) {
+	d := New(64)
+	if h := d.Home(0, 64); h != 0 {
+		t.Fatalf("home(0) = %d", h)
+	}
+	if h := d.Home(64, 64); h != 1 {
+		t.Fatalf("home(64) = %d", h)
+	}
+	if h := d.Home(64*64, 64); h != 0 {
+		t.Fatalf("home wraps wrong: %d", h)
+	}
+	// Interleaving covers all sites uniformly.
+	counts := map[geometry.SiteID]int{}
+	for i := 0; i < 64*10; i++ {
+		counts[d.Home(uint64(i)*64, 64)]++
+	}
+	for s, c := range counts {
+		if c != 10 {
+			t.Fatalf("site %d homes %d lines, want 10", s, c)
+		}
+	}
+}
+
+func TestReadMissUnshared(t *testing.T) {
+	d := New(64)
+	_, fwd := d.ReadMiss(0x1000, 3)
+	if fwd {
+		t.Fatal("cold read should not forward")
+	}
+	e := d.Lookup(0x1000)
+	if !e.Holds(3) || e.Count() != 1 || e.Owner != -1 {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+func TestWriteMissInvalidatesSharers(t *testing.T) {
+	d := New(64)
+	d.ReadMiss(0x40, 1)
+	d.ReadMiss(0x40, 2)
+	d.ReadMiss(0x40, 3)
+	victims := d.WriteMiss(0x40, 5)
+	if len(victims) != 3 {
+		t.Fatalf("victims = %v, want sites 1,2,3", victims)
+	}
+	seen := map[geometry.SiteID]bool{}
+	for _, v := range victims {
+		seen[v] = true
+	}
+	if !seen[1] || !seen[2] || !seen[3] {
+		t.Fatalf("victims = %v", victims)
+	}
+	e := d.Lookup(0x40)
+	if e.Owner != 5 || e.Count() != 1 || !e.Holds(5) {
+		t.Fatalf("post-write entry = %+v", e)
+	}
+	if d.InvalidationsSent != 3 {
+		t.Fatalf("invalidations = %d", d.InvalidationsSent)
+	}
+}
+
+func TestWriteMissByExistingSharerExcludesSelf(t *testing.T) {
+	d := New(64)
+	d.ReadMiss(0x40, 1)
+	d.ReadMiss(0x40, 2)
+	victims := d.WriteMiss(0x40, 1) // upgrade by a sharer
+	if len(victims) != 1 || victims[0] != 2 {
+		t.Fatalf("victims = %v, want [2]", victims)
+	}
+}
+
+func TestReadMissForwardsFromOwner(t *testing.T) {
+	d := New(64)
+	d.WriteMiss(0x80, 7)
+	from, fwd := d.ReadMiss(0x80, 9)
+	if !fwd || from != 7 {
+		t.Fatalf("forward = %v/%d, want from owner 7", fwd, from)
+	}
+	e := d.Lookup(0x80)
+	if !e.Holds(7) || !e.Holds(9) || e.Owner != 7 {
+		t.Fatalf("MOESI entry after forward = %+v (owner keeps O state)", e)
+	}
+	if d.Forwards != 1 {
+		t.Fatalf("forwards = %d", d.Forwards)
+	}
+}
+
+func TestOwnerReadsOwnLineNoForward(t *testing.T) {
+	d := New(64)
+	d.WriteMiss(0x80, 7)
+	if _, fwd := d.ReadMiss(0x80, 7); fwd {
+		t.Fatal("owner re-read should not forward to itself")
+	}
+}
+
+func TestEvict(t *testing.T) {
+	d := New(64)
+	d.ReadMiss(0x40, 1)
+	d.ReadMiss(0x40, 2)
+	d.Evict(0x40, 1)
+	e := d.Lookup(0x40)
+	if e.Holds(1) || !e.Holds(2) {
+		t.Fatalf("entry after evict = %+v", e)
+	}
+	d.Evict(0x40, 2)
+	if d.TrackedLines() != 0 {
+		t.Fatal("empty entry not reclaimed")
+	}
+	// Evicting an untracked line is a no-op.
+	d.Evict(0x999940, 5)
+}
+
+func TestEvictOwnerClearsOwnership(t *testing.T) {
+	d := New(64)
+	d.WriteMiss(0x40, 3)
+	d.ReadMiss(0x40, 4)
+	d.Evict(0x40, 3)
+	e := d.Lookup(0x40)
+	if e.Owner != -1 || e.Holds(3) || !e.Holds(4) {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+func TestSharerListExcludes(t *testing.T) {
+	e := Entry{Sharers: 1<<3 | 1<<17 | 1<<63}
+	l := e.SharerList(17)
+	if len(l) != 2 || l[0] != 3 || l[1] != 63 {
+		t.Fatalf("SharerList = %v", l)
+	}
+}
+
+// Property: after any sequence of operations, the owner (if any) is always
+// also a sharer.
+func TestOwnerAlwaysSharer(t *testing.T) {
+	f := func(ops []uint16) bool {
+		d := New(64)
+		for _, op := range ops {
+			site := geometry.SiteID(op % 64)
+			line := uint64(op/64%8) * 64
+			switch op % 3 {
+			case 0:
+				d.ReadMiss(line, site)
+			case 1:
+				d.WriteMiss(line, site)
+			default:
+				d.Evict(line, site)
+			}
+			e := d.Lookup(line)
+			if e.Owner >= 0 && !e.Holds(e.Owner) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package geometry models the physical layout of the macrochip: an N×N array
+// of sites on an SOI routing substrate, with horizontal waveguides routed
+// between rows on the bottom layer and vertical waveguides between columns on
+// the top layer (paper §3, figure 1).
+//
+// Networks query the package for waveguide path lengths between sites; the
+// photonics package converts lengths to propagation delay (0.1 ns/cm in SOI,
+// paper §1) and waveguide loss.
+package geometry
+
+import "fmt"
+
+// SiteID identifies one site (a processor+memory pair) on the macrochip.
+// Sites are numbered row-major: id = row*N + col.
+type SiteID int
+
+// Grid describes the macrochip site array.
+type Grid struct {
+	// N is the number of sites per side; the paper's macrochip is 8×8.
+	N int
+	// PitchCM is the center-to-center distance between adjacent sites in
+	// centimeters. Each site holds a 225 mm² memory die (15 mm side) plus
+	// waveguide routing channels, so the default pitch is 2.25 cm, which
+	// makes the substrate 18 cm on a side — "10× the dimensions of the chip
+	// proposed for Corona" (paper §4.4).
+	PitchCM float64
+}
+
+// Default8x8 is the macrochip layout used throughout the paper's evaluation.
+func Default8x8() Grid { return Grid{N: 8, PitchCM: 2.25} }
+
+// Sites returns the total number of sites.
+func (g Grid) Sites() int { return g.N * g.N }
+
+// Row returns the row index of s.
+func (g Grid) Row(s SiteID) int { return int(s) / g.N }
+
+// Col returns the column index of s.
+func (g Grid) Col(s SiteID) int { return int(s) % g.N }
+
+// Site returns the SiteID at (row, col).
+func (g Grid) Site(row, col int) SiteID {
+	if row < 0 || row >= g.N || col < 0 || col >= g.N {
+		panic(fmt.Sprintf("geometry: site (%d,%d) outside %d×%d grid", row, col, g.N, g.N))
+	}
+	return SiteID(row*g.N + col)
+}
+
+// Valid reports whether s names a site on the grid.
+func (g Grid) Valid(s SiteID) bool { return s >= 0 && int(s) < g.Sites() }
+
+// SameRow reports whether a and b share a row (they are "row peers" in the
+// limited point-to-point network, paper §4.6).
+func (g Grid) SameRow(a, b SiteID) bool { return g.Row(a) == g.Row(b) }
+
+// SameCol reports whether a and b share a column ("column peers").
+func (g Grid) SameCol(a, b SiteID) bool { return g.Col(a) == g.Col(b) }
+
+// ManhattanCM returns the length in centimeters of the L-shaped waveguide
+// route from a to b: horizontally along a's row to b's column, then
+// vertically to b. This is the physical route of the static point-to-point
+// network (paper §4.2, figure 3) and a good model for all the row/column
+// routed networks.
+func (g Grid) ManhattanCM(a, b SiteID) float64 {
+	dr := g.Row(a) - g.Row(b)
+	if dr < 0 {
+		dr = -dr
+	}
+	dc := g.Col(a) - g.Col(b)
+	if dc < 0 {
+		dc = -dc
+	}
+	return float64(dr+dc) * g.PitchCM
+}
+
+// MaxManhattanCM returns the worst-case L-route length on the grid (corner
+// to corner).
+func (g Grid) MaxManhattanCM() float64 {
+	return float64(2*(g.N-1)) * g.PitchCM
+}
+
+// TorusHops returns the minimal hop count between a and b on an N×N torus
+// with wraparound links in both dimensions, as used by the circuit-switched
+// network adaptation (paper §4.5).
+func (g Grid) TorusHops(a, b SiteID) int {
+	return torusDist(g.Row(a), g.Row(b), g.N) + torusDist(g.Col(a), g.Col(b), g.N)
+}
+
+func torusDist(x, y, n int) int {
+	d := x - y
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// TorusHopCM is the waveguide length of one torus hop. Wraparound links are
+// folded in the physical layout, so a single hop is one site pitch; folding
+// doubles the pitch for express wrap links but we use the standard folded
+// torus layout where every link spans two pitches on average — we charge one
+// pitch per hop, matching the paper's assumption that the torus is
+// "completely routed in the lower substrate".
+func (g Grid) TorusHopCM() float64 { return g.PitchCM }
+
+// RingPositions returns the site visit order of the serpentine ring used by
+// the token-ring network adaptation (paper §4.4): row 0 left-to-right, row 1
+// right-to-left, and so on, then back to the start. The returned slice maps
+// ring position -> SiteID.
+func (g Grid) RingPositions() []SiteID {
+	order := make([]SiteID, 0, g.Sites())
+	for r := 0; r < g.N; r++ {
+		if r%2 == 0 {
+			for c := 0; c < g.N; c++ {
+				order = append(order, g.Site(r, c))
+			}
+		} else {
+			for c := g.N - 1; c >= 0; c-- {
+				order = append(order, g.Site(r, c))
+			}
+		}
+	}
+	return order
+}
+
+// RingIndex returns the inverse of RingPositions: a map from SiteID to ring
+// position.
+func (g Grid) RingIndex() []int {
+	idx := make([]int, g.Sites())
+	for pos, s := range g.RingPositions() {
+		idx[s] = pos
+	}
+	return idx
+}
+
+// RingDist returns the number of ring hops from position a to position b
+// traveling in the ring direction (always forward).
+func (g Grid) RingDist(a, b int) int {
+	n := g.Sites()
+	return ((b-a)%n + n) % n
+}

@@ -1,0 +1,172 @@
+package geometry
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRowColSite(t *testing.T) {
+	g := Default8x8()
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			s := g.Site(r, c)
+			if g.Row(s) != r || g.Col(s) != c {
+				t.Fatalf("Site(%d,%d)=%d round-trips to (%d,%d)", r, c, s, g.Row(s), g.Col(s))
+			}
+		}
+	}
+	if g.Sites() != 64 {
+		t.Fatalf("Sites() = %d, want 64", g.Sites())
+	}
+}
+
+func TestSiteOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Site(8,0) did not panic")
+		}
+	}()
+	Default8x8().Site(8, 0)
+}
+
+func TestValid(t *testing.T) {
+	g := Default8x8()
+	if !g.Valid(0) || !g.Valid(63) {
+		t.Fatal("0 and 63 should be valid")
+	}
+	if g.Valid(-1) || g.Valid(64) {
+		t.Fatal("-1 and 64 should be invalid")
+	}
+}
+
+func TestManhattan(t *testing.T) {
+	g := Default8x8()
+	if d := g.ManhattanCM(g.Site(0, 0), g.Site(0, 0)); d != 0 {
+		t.Fatalf("self distance = %v", d)
+	}
+	if d := g.ManhattanCM(g.Site(0, 0), g.Site(7, 7)); d != 14*2.25 {
+		t.Fatalf("corner distance = %v, want %v", d, 14*2.25)
+	}
+	if d := g.ManhattanCM(g.Site(3, 1), g.Site(3, 6)); d != 5*2.25 {
+		t.Fatalf("row distance = %v, want %v", d, 5*2.25)
+	}
+	if g.MaxManhattanCM() != 14*2.25 {
+		t.Fatalf("MaxManhattanCM = %v", g.MaxManhattanCM())
+	}
+}
+
+func TestManhattanSymmetry(t *testing.T) {
+	g := Default8x8()
+	f := func(a, b uint8) bool {
+		x, y := SiteID(a%64), SiteID(b%64)
+		return g.ManhattanCM(x, y) == g.ManhattanCM(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManhattanTriangle(t *testing.T) {
+	g := Default8x8()
+	f := func(a, b, c uint8) bool {
+		x, y, z := SiteID(a%64), SiteID(b%64), SiteID(c%64)
+		return g.ManhattanCM(x, z) <= g.ManhattanCM(x, y)+g.ManhattanCM(y, z)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTorusHops(t *testing.T) {
+	g := Default8x8()
+	cases := []struct {
+		a, b SiteID
+		want int
+	}{
+		{g.Site(0, 0), g.Site(0, 0), 0},
+		{g.Site(0, 0), g.Site(0, 1), 1},
+		{g.Site(0, 0), g.Site(0, 7), 1}, // wraparound
+		{g.Site(0, 0), g.Site(0, 4), 4}, // antipodal column
+		{g.Site(0, 0), g.Site(4, 4), 8}, // antipodal both dims
+		{g.Site(1, 2), g.Site(6, 5), 6}, // 3 (wrap rows) + 3
+		{g.Site(7, 7), g.Site(0, 0), 2}, // wrap both
+	}
+	for _, c := range cases {
+		if got := g.TorusHops(c.a, c.b); got != c.want {
+			t.Errorf("TorusHops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTorusHopsBounds(t *testing.T) {
+	g := Default8x8()
+	f := func(a, b uint8) bool {
+		x, y := SiteID(a%64), SiteID(b%64)
+		h := g.TorusHops(x, y)
+		// On an 8x8 torus max per-dimension distance is 4.
+		return h >= 0 && h <= 8 && g.TorusHops(x, y) == g.TorusHops(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRing(t *testing.T) {
+	g := Default8x8()
+	order := g.RingPositions()
+	if len(order) != 64 {
+		t.Fatalf("ring has %d positions", len(order))
+	}
+	seen := make(map[SiteID]bool)
+	for _, s := range order {
+		if seen[s] {
+			t.Fatalf("site %d visited twice", s)
+		}
+		seen[s] = true
+	}
+	// Serpentine: consecutive positions must be grid neighbors.
+	for i := 1; i < len(order); i++ {
+		a, b := order[i-1], order[i]
+		if g.ManhattanCM(a, b) != g.PitchCM {
+			t.Fatalf("ring step %d: sites %d,%d not adjacent", i, a, b)
+		}
+	}
+	idx := g.RingIndex()
+	for pos, s := range order {
+		if idx[s] != pos {
+			t.Fatalf("RingIndex[%d] = %d, want %d", s, idx[s], pos)
+		}
+	}
+}
+
+func TestRingDist(t *testing.T) {
+	g := Default8x8()
+	if d := g.RingDist(5, 5); d != 0 {
+		t.Fatalf("RingDist(5,5) = %d", d)
+	}
+	if d := g.RingDist(5, 6); d != 1 {
+		t.Fatalf("RingDist(5,6) = %d", d)
+	}
+	if d := g.RingDist(6, 5); d != 63 {
+		t.Fatalf("RingDist(6,5) = %d", d)
+	}
+	if d := g.RingDist(63, 0); d != 1 {
+		t.Fatalf("RingDist(63,0) = %d", d)
+	}
+}
+
+func TestSameRowCol(t *testing.T) {
+	g := Default8x8()
+	if !g.SameRow(g.Site(2, 0), g.Site(2, 7)) {
+		t.Fatal("sites in row 2 not recognized as row peers")
+	}
+	if g.SameRow(g.Site(2, 0), g.Site(3, 0)) {
+		t.Fatal("different rows reported as row peers")
+	}
+	if !g.SameCol(g.Site(0, 5), g.Site(7, 5)) {
+		t.Fatal("sites in col 5 not recognized as column peers")
+	}
+	if g.SameCol(g.Site(0, 5), g.Site(0, 6)) {
+		t.Fatal("different cols reported as column peers")
+	}
+}

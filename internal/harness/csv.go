@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"macrochip/internal/networks"
+)
+
+// This file renders experiment results as CSV so external plotting tools
+// can regenerate the paper's figures graphically. Every writer emits a
+// header row and uses one row per measured point.
+
+// WriteFigure6CSV emits one panel as
+// pattern,network,load_pct,mean_ns,p95_ns,max_ns,accepted_gbs,offered_gbs,saturated.
+func WriteFigure6CSV(w io.Writer, panel Figure6Panel) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"pattern", "network", "load_pct", "mean_ns", "p95_ns", "max_ns", "accepted_gbs", "offered_gbs", "saturated"}); err != nil {
+		return err
+	}
+	for _, s := range panel.Series {
+		for _, pt := range s.Points {
+			rec := []string{
+				panel.Pattern,
+				string(s.Network),
+				f(pt.Load * 100),
+				f(pt.MeanLatency.Nanoseconds()),
+				f(pt.P95Latency.Nanoseconds()),
+				f(pt.MaxLatency.Nanoseconds()),
+				f(pt.ThroughputGBs),
+				f(pt.OfferedGBs),
+				strconv.FormatBool(pt.Saturated),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteStudyCSV emits the figure-7/8/9/10 study as
+// benchmark,network,runtime_ns,speedup_vs_cs,lat_per_op_ns,router_frac,norm_edp.
+func WriteStudyCSV(w io.Writer, rows []StudyRow) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"benchmark", "network", "runtime_ns", "speedup_vs_cs", "lat_per_op_ns", "router_frac", "norm_edp"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for _, k := range networks.Six() {
+			cell, ok := r.Cells[k]
+			if !ok {
+				continue
+			}
+			rec := []string{
+				r.Benchmark,
+				string(k),
+				f(cell.Runtime.Nanoseconds()),
+				f(r.Speedup(k)),
+				f(cell.LatencyPerOp.Nanoseconds()),
+				f(cell.Energy.RouterFraction()),
+				f(r.NormalizedEDP(k)),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteScalingCSV emits the scalability study as
+// n,sites,peak_tbs,network,waveguides,switches,loss_db,laser_w.
+func WriteScalingCSV(w io.Writer, rows []ScalingRow) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"n", "sites", "peak_tbs", "network", "waveguides", "switches", "loss_db", "laser_w"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for _, k := range networks.Six() {
+			c := r.Networks[k]
+			rec := []string{
+				strconv.Itoa(r.N), strconv.Itoa(r.Sites), f(r.PeakTBs),
+				string(k), strconv.Itoa(c.Waveguides), strconv.Itoa(c.Switches),
+				f(c.ExtraLossDB), f(c.LaserWatts),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return fmt.Sprintf("%g", v) }

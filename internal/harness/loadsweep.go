@@ -1,0 +1,107 @@
+// Package harness runs the paper's experiments: the figure-6 load sweeps,
+// the figure-7/8/9/10 benchmark studies, and the table-5/6 analyses. Each
+// function returns plain result structs; formatting lives in the callers
+// (cmd/figures, bench_test.go, examples).
+package harness
+
+import (
+	"macrochip/internal/core"
+	"macrochip/internal/networks"
+	"macrochip/internal/sim"
+	"macrochip/internal/traffic"
+)
+
+// LoadPointConfig describes one (network, pattern, load) simulation of the
+// figure-6 study.
+type LoadPointConfig struct {
+	Params  core.Params
+	Network networks.Kind
+	Pattern traffic.Pattern
+	// Load is offered load per site as a fraction of 320 GB/s.
+	Load float64
+	// PacketBytes is 64 in the paper's tests.
+	PacketBytes int
+	// Warmup and Measure are the settle and measurement windows.
+	Warmup, Measure sim.Time
+	Seed            int64
+}
+
+// LoadPoint is the outcome of one load-sweep simulation.
+type LoadPoint struct {
+	Load          float64
+	MeanLatency   sim.Time
+	P95Latency    sim.Time
+	MaxLatency    sim.Time
+	ThroughputGBs float64 // accepted throughput, all sites
+	// OfferedGBs is the configured injection rate, all sites.
+	OfferedGBs float64
+	// Saturated is set when accepted throughput falls visibly below offered
+	// (the point past the latency asymptote).
+	Saturated bool
+	Delivered uint64
+}
+
+// DefaultLoadPointConfig fills the standard figure-6 settings.
+func DefaultLoadPointConfig() LoadPointConfig {
+	return LoadPointConfig{
+		Params:      core.DefaultParams(),
+		PacketBytes: 64,
+		Warmup:      2 * sim.Microsecond,
+		Measure:     6 * sim.Microsecond,
+		Seed:        1,
+	}
+}
+
+// RunLoadPoint simulates one point of the latency-vs-offered-load curve.
+func RunLoadPoint(cfg LoadPointConfig) LoadPoint {
+	eng := sim.NewEngine()
+	stats := core.NewStats(cfg.Warmup)
+	end := cfg.Warmup + cfg.Measure
+	stats.MeasureEnd = end
+	net := networks.MustNew(cfg.Network, eng, cfg.Params, stats)
+	gen := &traffic.OpenLoop{
+		Eng:         eng,
+		Params:      cfg.Params,
+		Net:         net,
+		Pattern:     cfg.Pattern,
+		Load:        cfg.Load,
+		PacketBytes: cfg.PacketBytes,
+		Until:       end,
+		Seed:        cfg.Seed,
+	}
+	gen.Start()
+	// Run past the injection horizon so in-flight packets drain enough for
+	// stable statistics, then cut off: a saturated network would never
+	// drain completely.
+	eng.RunUntil(end + cfg.Measure)
+	eng.Stop()
+
+	offered := cfg.Load * cfg.Params.SiteBandwidthGBs * float64(cfg.Params.Grid.Sites())
+	thru := stats.ThroughputGBs()
+	return LoadPoint{
+		Load:          cfg.Load,
+		MeanLatency:   stats.MeanLatency(),
+		P95Latency:    stats.LatencyPercentile(95),
+		MaxLatency:    stats.MaxLatency(),
+		ThroughputGBs: thru,
+		OfferedGBs:    offered,
+		Saturated:     thru < 0.90*offered,
+		Delivered:     stats.Delivered,
+	}
+}
+
+// SaturationSearch finds the highest offered load (as a fraction of site
+// bandwidth, within tol) that the network still accepts, by bisection on
+// the Saturated flag. It returns that load fraction.
+func SaturationSearch(cfg LoadPointConfig, lo, hi, tol float64) float64 {
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		cfg.Load = mid
+		if RunLoadPoint(cfg).Saturated {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,118 @@
+// Package layout estimates the physical routing plant of each network on
+// the SOI substrate: total waveguide length, routing-layer area (at the
+// 10 µm global waveguide pitch of paper §2), same-layer waveguide
+// crossings, and inter-layer OPxC coupler counts.
+//
+// The macrochip routes horizontal waveguides on the bottom substrate layer
+// and vertical ones on the top (§3), so row/column networks cross layers at
+// couplers instead of crossing waveguides — crossings induce crosstalk,
+// which is why the paper flags the adapted torus's "large number of
+// waveguide crossings" as a concern (§4.5) while Corona's ring "has no
+// waveguide crossings" (§4.4). This package turns those qualitative
+// statements into numbers.
+//
+// The lengths are plan-level estimates (waveguides span their full row or
+// column; serpentine rings visit every site) — the paper publishes no
+// floorplan, so absolute values are approximate while ratios between
+// networks are meaningful.
+package layout
+
+import (
+	"fmt"
+
+	"macrochip/internal/complexity"
+	"macrochip/internal/core"
+	"macrochip/internal/networks"
+)
+
+// Floorplan summarizes one network's routing plant.
+type Floorplan struct {
+	Network string
+	// WaveguideCM is the total routed waveguide length.
+	WaveguideCM float64
+	// RoutingAreaCM2 is WaveguideCM × the 10 µm waveguide pitch.
+	RoutingAreaCM2 float64
+	// Crossings counts same-layer waveguide crossings (crosstalk sites).
+	Crossings int
+	// InterLayerCouplers counts OPxC vias between the two routing layers.
+	InterLayerCouplers int
+}
+
+// String renders one floorplan row.
+func (f Floorplan) String() string {
+	return fmt.Sprintf("%-22s wg=%9.0f cm  area=%6.2f cm²  crossings=%-6d couplers=%d",
+		f.Network, f.WaveguideCM, f.RoutingAreaCM2, f.Crossings, f.InterLayerCouplers)
+}
+
+// waveguidePitchCM is the 10 µm pitch of the low-loss global waveguides
+// (paper §2).
+const waveguidePitchCM = 10e-4
+
+// ForNetwork estimates the floorplan of one architecture.
+func ForNetwork(kind networks.Kind, p core.Params) (Floorplan, error) {
+	counts, err := complexity.ForNetwork(kind, p)
+	if err != nil {
+		return Floorplan{}, err
+	}
+	n := p.Grid.N
+	span := float64(n) * p.Grid.PitchCM // one row or column, 18 cm at N=8
+
+	fp := Floorplan{Network: counts.Network}
+	switch kind {
+	case networks.PointToPoint, networks.LimitedPtP:
+		// Every waveguide spans one full row (bottom layer) or column (top
+		// layer): no same-layer crossings. Each horizontal waveguide
+		// couples into one vertical pair per column.
+		fp.WaveguideCM = float64(counts.Waveguides) * span
+		horiz := counts.Waveguides / 3
+		fp.InterLayerCouplers = horiz * n
+		fp.Crossings = 0
+
+	case networks.TokenRing:
+		// Each physical ring serpentines past all sites: ~sites × pitch.
+		// Corona's ring topology needs no crossings and no layer changes.
+		physical := counts.Waveguides / n // area-weighted → physical
+		ringLen := float64(p.Grid.Sites()) * p.Grid.PitchCM
+		fp.WaveguideCM = float64(physical) * ringLen
+		fp.Crossings = 0
+		fp.InterLayerCouplers = 0
+
+	case networks.CircuitSwitched:
+		// Torus loops fold back and forth across a row or column: length
+		// ≈ 2 spans per loop. Routed entirely in the lower substrate
+		// (§4.5), so every switch region crosses waveguides in-plane: a
+		// 4×4 switch built from 1×2 elements needs ~4 internal crossings,
+		// and each loop passing a non-connected switch point adds one.
+		fp.WaveguideCM = float64(counts.Waveguides) * 2 * span
+		fp.Crossings = counts.Switches*4 + counts.Waveguides*n/2
+		fp.InterLayerCouplers = 0
+
+	case networks.TwoPhase, networks.TwoPhaseALT:
+		// Shared row channels (two segments each) plus the vertical
+		// delivery waveguides; layer split like the point-to-point plant.
+		fp.WaveguideCM = float64(counts.Waveguides) * span
+		fp.Crossings = 0
+		fp.InterLayerCouplers = counts.Waveguides / 2
+
+	default:
+		return Floorplan{}, fmt.Errorf("layout: unknown network %q", kind)
+	}
+	fp.RoutingAreaCM2 = fp.WaveguideCM * waveguidePitchCM
+	return fp, nil
+}
+
+// Table returns the floorplans of all six designs in table-6 order.
+func Table(p core.Params) []Floorplan {
+	out := []Floorplan{}
+	for _, k := range []networks.Kind{
+		networks.TokenRing, networks.PointToPoint, networks.CircuitSwitched,
+		networks.LimitedPtP, networks.TwoPhase, networks.TwoPhaseALT,
+	} {
+		f, err := ForNetwork(k, p)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, f)
+	}
+	return out
+}

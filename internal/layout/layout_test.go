@@ -1,0 +1,113 @@
+package layout
+
+import (
+	"strings"
+	"testing"
+
+	"macrochip/internal/core"
+	"macrochip/internal/networks"
+)
+
+func TestNoCrossingsOnLayeredNetworks(t *testing.T) {
+	p := core.DefaultParams()
+	for _, k := range []networks.Kind{
+		networks.PointToPoint, networks.LimitedPtP, networks.TwoPhase, networks.TwoPhaseALT,
+	} {
+		f, err := ForNetwork(k, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Crossings != 0 {
+			t.Errorf("%s has %d crossings; two-layer routing should have none", k, f.Crossings)
+		}
+	}
+}
+
+func TestTokenRingHasNoCrossings(t *testing.T) {
+	// Corona: "a ring topology with no waveguide crossings" (paper §4.4).
+	f, err := ForNetwork(networks.TokenRing, core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Crossings != 0 {
+		t.Fatalf("token ring crossings = %d", f.Crossings)
+	}
+	if f.InterLayerCouplers != 0 {
+		t.Fatalf("token ring uses layer couplers: %d", f.InterLayerCouplers)
+	}
+}
+
+func TestCircuitSwitchedCrossingsAreTheOutlier(t *testing.T) {
+	// Paper §4.5: the adapted torus "requires a large number of waveguide
+	// crossings" — the only design with any.
+	p := core.DefaultParams()
+	cs, err := ForNetwork(networks.CircuitSwitched, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Crossings == 0 {
+		t.Fatal("circuit-switched torus should have crossings")
+	}
+	for _, k := range networks.Six() {
+		if k == networks.CircuitSwitched {
+			continue
+		}
+		f, _ := ForNetwork(k, p)
+		if f.Crossings >= cs.Crossings {
+			t.Errorf("%s crossings %d >= torus %d", k, f.Crossings, cs.Crossings)
+		}
+	}
+}
+
+func TestTokenRingLongestPlant(t *testing.T) {
+	// The token ring's per-destination serpentine bundles dominate total
+	// waveguide length — the area cost behind its 32 K area-weighted count.
+	p := core.DefaultParams()
+	tok, _ := ForNetwork(networks.TokenRing, p)
+	for _, k := range []networks.Kind{networks.PointToPoint, networks.LimitedPtP, networks.TwoPhase} {
+		f, _ := ForNetwork(k, p)
+		if f.WaveguideCM >= tok.WaveguideCM {
+			t.Errorf("%s waveguide length %.0f >= token ring %.0f", k, f.WaveguideCM, tok.WaveguideCM)
+		}
+	}
+}
+
+func TestAreasPositiveAndConsistent(t *testing.T) {
+	p := core.DefaultParams()
+	for _, f := range Table(p) {
+		if f.WaveguideCM <= 0 || f.RoutingAreaCM2 <= 0 {
+			t.Errorf("%s has nonpositive plant: %+v", f.Network, f)
+		}
+		want := f.WaveguideCM * 10e-4
+		if diff := f.RoutingAreaCM2 - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s area inconsistent with length", f.Network)
+		}
+		if !strings.Contains(f.String(), "cm²") {
+			t.Error("row rendering missing area")
+		}
+	}
+}
+
+func TestPointToPointPlantNumbers(t *testing.T) {
+	// 3072 waveguides × 18 cm = 55 296 cm; 1024 horizontal × 8 columns of
+	// couplers = 8192 vias.
+	f, _ := ForNetwork(networks.PointToPoint, core.DefaultParams())
+	if f.WaveguideCM != 3072*18 {
+		t.Fatalf("ptp waveguide length = %v", f.WaveguideCM)
+	}
+	if f.InterLayerCouplers != 8192 {
+		t.Fatalf("ptp couplers = %d", f.InterLayerCouplers)
+	}
+}
+
+func TestUnknownNetwork(t *testing.T) {
+	if _, err := ForNetwork(networks.Kind("bogus"), core.DefaultParams()); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTableHasSixRows(t *testing.T) {
+	if got := len(Table(core.DefaultParams())); got != 6 {
+		t.Fatalf("table rows = %d", got)
+	}
+}

@@ -1,0 +1,146 @@
+// Package circuit implements the circuit-switched optical torus of paper
+// §4.5 — the design of Petracca et al. (HOTI 2008) adapted to the macrochip.
+//
+// Data rides end-to-end optical circuits through a non-blocking torus of 4×4
+// optical switches. Before each transfer, a path-setup flit travels hop by
+// hop on a low-bandwidth optical control network, configuring the switch at
+// every hop; an acknowledgment returns over the same path, and only then
+// does data flow. The paper's adaptation replaces the original electronic
+// setup network with an optical one, because an active substrate with long
+// electrical wires would defeat the macrochip's passive-routing-layer
+// premise.
+//
+// The torus is non-blocking, so the model charges no switch-contention
+// inside the fabric; the costs are the per-hop setup latency, the limited
+// number of concurrent circuits a site gateway can manage, and the
+// destination's finite landing bandwidth. For 64-byte cache-line transfers
+// the setup round trip dwarfs the 3.2 ns data time — the reason this network
+// sustains only a few percent of peak (figure 6).
+package circuit
+
+import (
+	"macrochip/internal/core"
+	"macrochip/internal/sim"
+)
+
+// Network is the circuit-switched torus fabric.
+type Network struct {
+	eng   *sim.Engine
+	p     core.Params
+	stats *core.Stats
+
+	// slots is the number of free circuit engines per source gateway.
+	slots []int
+	// pending is the per-source FIFO of packets waiting for a circuit
+	// engine.
+	pending [][]*core.Packet
+	// landing models the destination's aggregate receive bandwidth
+	// (CircuitSlotsPerSite... of the 16 inbound waveguides; see params).
+	landing []*core.Channel
+
+	ctrlHop sim.Time
+}
+
+// New constructs the network.
+func New(eng *sim.Engine, p core.Params, stats *core.Stats) *Network {
+	sites := p.Grid.Sites()
+	n := &Network{
+		eng:     eng,
+		p:       p,
+		stats:   stats,
+		slots:   make([]int, sites),
+		pending: make([][]*core.Packet, sites),
+		landing: make([]*core.Channel, sites),
+	}
+	for s := 0; s < sites; s++ {
+		n.slots[s] = p.CircuitSlotsPerSite
+		// 16 inbound waveguides × 20 GB/s = 320 GB/s landing capacity.
+		n.landing[s] = core.NewChannel(float64(p.TxPerSite/p.WavelengthsPerWaveguide) * p.CircuitDataGBs)
+	}
+	n.ctrlHop = n.controlHopLatency()
+	return n
+}
+
+// controlHopLatency is the per-hop cost of a setup or ack flit: serialize
+// the flit on the control wavelength, process it in the path-setup router,
+// and propagate one torus hop.
+func (n *Network) controlHopLatency() sim.Time {
+	ser := sim.Time(float64(n.p.CircuitCtrlFlitBytes)*1e3/n.p.CircuitCtrlGBs + 0.5)
+	router := n.p.Cycles(n.p.CircuitRouterCycles)
+	prop := sim.FromNanoseconds(n.p.Grid.TorusHopCM() * n.p.Comp.PropagationNSPerCM)
+	return ser + router + prop
+}
+
+// CtrlHopLatency exposes the per-hop control latency for tests and the
+// ablation benches.
+func (n *Network) CtrlHopLatency() sim.Time { return n.ctrlHop }
+
+// Name implements core.Network.
+func (n *Network) Name() string { return "Circuit Switched" }
+
+// Stats implements core.Network.
+func (n *Network) Stats() *core.Stats { return n.stats }
+
+// Inject implements core.Network.
+func (n *Network) Inject(p *core.Packet) {
+	now := n.eng.Now()
+	n.stats.StampInjection(p, now)
+	if p.Src == p.Dst {
+		n.eng.Schedule(n.p.Cycles(n.p.IntraSiteCycles), func() {
+			n.stats.RecordDelivery(p, n.eng.Now())
+		})
+		return
+	}
+	s := int(p.Src)
+	if n.slots[s] > 0 {
+		n.slots[s]--
+		n.startCircuit(p)
+	} else {
+		n.pending[s] = append(n.pending[s], p)
+	}
+}
+
+// startCircuit runs the full setup → data → release sequence for p.
+func (n *Network) startCircuit(p *core.Packet) {
+	now := n.eng.Now()
+	hops := n.p.Grid.TorusHops(p.Src, p.Dst)
+	// Setup flit out plus acknowledgment back; each hop is one control
+	// message (counted for the arbitration/control energy bookkeeping).
+	setup := sim.Time(2*hops) * n.ctrlHop
+	for i := 0; i < 2*hops; i++ {
+		n.stats.AddArbMessage()
+		n.stats.AddOpticalTraversal(n.p.CircuitCtrlFlitBytes)
+	}
+	dataStart := now + setup
+	ser := sim.Time(float64(p.Bytes)*1e3/n.p.CircuitDataGBs + 0.5)
+	// The landing channel bounds the destination's aggregate receive rate;
+	// under hotspot traffic circuits queue on the destination's inbound
+	// waveguides.
+	_, landEnd := n.landing[p.Dst].Reserve(dataStart, p.Bytes)
+	dataEnd := landEnd
+	if min := dataStart + ser; dataEnd < min {
+		dataEnd = min
+	}
+	prop := sim.FromNanoseconds(float64(hops) * n.p.Grid.TorusHopCM() * n.p.Comp.PropagationNSPerCM)
+	n.stats.AddOpticalTraversal(p.Bytes)
+	n.eng.Schedule(dataEnd+prop-now, func() {
+		n.stats.RecordDelivery(p, n.eng.Now())
+	})
+	// The circuit engine frees once the data has left the source; the
+	// teardown flits chase the tail of the data.
+	n.eng.Schedule(dataEnd-now, func() { n.releaseSlot(int(p.Src)) })
+}
+
+// releaseSlot frees a circuit engine and starts the next pending transfer.
+func (n *Network) releaseSlot(s int) {
+	if len(n.pending[s]) > 0 {
+		next := n.pending[s][0]
+		n.pending[s] = n.pending[s][1:]
+		n.startCircuit(next)
+		return
+	}
+	n.slots[s]++
+}
+
+// PendingAt reports the queue length at a source gateway (for tests).
+func (n *Network) PendingAt(s int) int { return len(n.pending[s]) }

@@ -1,0 +1,254 @@
+package networks_test
+
+import (
+	"fmt"
+	"testing"
+
+	"macrochip/internal/core"
+	"macrochip/internal/geometry"
+	"macrochip/internal/networks"
+	"macrochip/internal/sim"
+	"macrochip/internal/traffic"
+)
+
+// The conformance suite checks invariants every network model must satisfy,
+// whatever its arbitration scheme.
+
+func forEachKind(t *testing.T, f func(t *testing.T, kind networks.Kind)) {
+	for _, k := range networks.Six() {
+		k := k
+		t.Run(string(k), func(t *testing.T) { f(t, k) })
+	}
+}
+
+// TestConformanceDelivery: at a load far below every network's saturation,
+// every injected packet is delivered exactly once after drain.
+func TestConformanceDelivery(t *testing.T) {
+	forEachKind(t, func(t *testing.T, kind networks.Kind) {
+		eng := sim.NewEngine()
+		p := core.DefaultParams()
+		st := core.NewStats(0)
+		net := networks.MustNew(kind, eng, p, st)
+		gen := &traffic.OpenLoop{
+			Eng: eng, Params: p, Net: net,
+			Pattern: traffic.Uniform{Grid: p.Grid},
+			Load:    0.005, PacketBytes: 64,
+			Until: 2 * sim.Microsecond, Seed: 11,
+		}
+		gen.Start()
+		end := eng.Run()
+		if st.Injected == 0 {
+			t.Fatal("nothing injected")
+		}
+		if st.Delivered != st.Injected {
+			t.Fatalf("delivered %d of %d", st.Delivered, st.Injected)
+		}
+		if end > 200*sim.Microsecond {
+			t.Fatalf("drain took %v — events leaking?", end)
+		}
+	})
+}
+
+// TestConformanceLatencyFloor: no packet can beat light: latency must be at
+// least the serialization time on the network's fastest channel plus the
+// propagation delay of one site pitch.
+func TestConformanceLatencyFloor(t *testing.T) {
+	forEachKind(t, func(t *testing.T, kind networks.Kind) {
+		eng := sim.NewEngine()
+		p := core.DefaultParams()
+		st := core.NewStats(0)
+		net := networks.MustNew(kind, eng, p, st)
+		var lat sim.Time
+		eng.Schedule(0, func() {
+			net.Inject(&core.Packet{
+				Src: p.Grid.Site(0, 0), Dst: p.Grid.Site(0, 1), Bytes: 64,
+				OnDeliver: func(_ *core.Packet, at sim.Time) { lat = at },
+			})
+		})
+		eng.Run()
+		// Fastest possible: 64 B at the token bundle's 320 GB/s (0.2 ns)
+		// plus one pitch of flight (0.225 ns).
+		floor := 200*sim.Picosecond + sim.FromNanoseconds(0.225)
+		if lat < floor {
+			t.Fatalf("latency %v beats the physical floor %v", lat, floor)
+		}
+	})
+}
+
+// TestConformanceDeterminism: identical runs must produce identical
+// statistics.
+func TestConformanceDeterminism(t *testing.T) {
+	forEachKind(t, func(t *testing.T, kind networks.Kind) {
+		run := func() (uint64, sim.Time) {
+			eng := sim.NewEngine()
+			p := core.DefaultParams()
+			st := core.NewStats(0)
+			net := networks.MustNew(kind, eng, p, st)
+			gen := &traffic.OpenLoop{
+				Eng: eng, Params: p, Net: net,
+				Pattern: traffic.Neighbor{Grid: p.Grid},
+				Load:    0.01, PacketBytes: 64,
+				Until: sim.Microsecond, Seed: 5,
+			}
+			gen.Start()
+			eng.Run()
+			return st.Delivered, st.MeanLatency()
+		}
+		d1, l1 := run()
+		d2, l2 := run()
+		if d1 != d2 || l1 != l2 {
+			t.Fatalf("nondeterministic: %d/%v vs %d/%v", d1, l1, d2, l2)
+		}
+	})
+}
+
+// TestConformanceLoopback: intra-site traffic is one core cycle on every
+// network (paper §6.2).
+func TestConformanceLoopback(t *testing.T) {
+	forEachKind(t, func(t *testing.T, kind networks.Kind) {
+		eng := sim.NewEngine()
+		p := core.DefaultParams()
+		st := core.NewStats(0)
+		net := networks.MustNew(kind, eng, p, st)
+		var lat sim.Time
+		eng.Schedule(0, func() {
+			net.Inject(&core.Packet{Src: 13, Dst: 13, Bytes: 64,
+				OnDeliver: func(_ *core.Packet, at sim.Time) { lat = at }})
+		})
+		eng.Run()
+		if lat != p.Cycles(1) {
+			t.Fatalf("loopback = %v, want 1 cycle", lat)
+		}
+	})
+}
+
+// TestConformanceEnergyCounters: inter-site traffic must charge optical
+// traversal energy on every network.
+func TestConformanceEnergyCounters(t *testing.T) {
+	forEachKind(t, func(t *testing.T, kind networks.Kind) {
+		eng := sim.NewEngine()
+		p := core.DefaultParams()
+		st := core.NewStats(0)
+		net := networks.MustNew(kind, eng, p, st)
+		eng.Schedule(0, func() {
+			for i := 0; i < 8; i++ {
+				net.Inject(&core.Packet{Src: geometry.SiteID(i), Dst: geometry.SiteID(i + 8), Bytes: 64})
+			}
+		})
+		eng.Run()
+		if st.OpticalTraversalBytes < 8*64 {
+			t.Fatalf("optical bytes = %d, want >= %d", st.OpticalTraversalBytes, 8*64)
+		}
+	})
+}
+
+// TestConformanceFIFOPerFlow: two packets of the same (src, dst) flow must
+// be delivered in injection order on every network.
+func TestConformanceFIFOPerFlow(t *testing.T) {
+	forEachKind(t, func(t *testing.T, kind networks.Kind) {
+		eng := sim.NewEngine()
+		p := core.DefaultParams()
+		st := core.NewStats(0)
+		net := networks.MustNew(kind, eng, p, st)
+		var order []uint64
+		eng.Schedule(0, func() {
+			for i := 0; i < 10; i++ {
+				seq := uint64(i)
+				net.Inject(&core.Packet{Src: 3, Dst: 42, Bytes: 64,
+					OnDeliver: func(_ *core.Packet, _ sim.Time) { order = append(order, seq) }})
+			}
+		})
+		eng.Run()
+		if len(order) != 10 {
+			t.Fatalf("delivered %d of 10", len(order))
+		}
+		for i := 1; i < len(order); i++ {
+			if order[i] < order[i-1] {
+				t.Fatalf("flow reordered: %v", order)
+			}
+		}
+	})
+}
+
+// TestConformanceUnknownKind: the factory rejects unknown names.
+func TestConformanceUnknownKind(t *testing.T) {
+	eng := sim.NewEngine()
+	p := core.DefaultParams()
+	if _, err := networks.New(networks.Kind("warp-drive"), eng, p, core.NewStats(0)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic")
+		}
+	}()
+	networks.MustNew(networks.Kind("warp-drive"), eng, p, core.NewStats(0))
+}
+
+// TestConformanceSmallGrid: every network must also work on a 4×4 grid
+// (used by the scalability study).
+func TestConformanceSmallGrid(t *testing.T) {
+	forEachKind(t, func(t *testing.T, kind networks.Kind) {
+		eng := sim.NewEngine()
+		p := core.DefaultParams()
+		p.Grid = geometry.Grid{N: 4, PitchCM: 2.25}
+		st := core.NewStats(0)
+		net := networks.MustNew(kind, eng, p, st)
+		eng.Schedule(0, func() {
+			for s := 0; s < 16; s++ {
+				net.Inject(&core.Packet{Src: geometry.SiteID(s), Dst: geometry.SiteID((s + 5) % 16), Bytes: 64})
+			}
+		})
+		eng.Run()
+		if st.Delivered != 16 {
+			t.Fatalf("delivered %d of 16 on 4×4 grid", st.Delivered)
+		}
+	})
+}
+
+// TestConformanceMessageSizes: tiny and huge payloads are both handled.
+func TestConformanceMessageSizes(t *testing.T) {
+	forEachKind(t, func(t *testing.T, kind networks.Kind) {
+		for _, bytes := range []int{1, 16, 72, 4096, 256 * 1024} {
+			eng := sim.NewEngine()
+			p := core.DefaultParams()
+			st := core.NewStats(0)
+			net := networks.MustNew(kind, eng, p, st)
+			var small, big sim.Time
+			eng.Schedule(0, func() {
+				net.Inject(&core.Packet{Src: 0, Dst: 9, Bytes: 16,
+					OnDeliver: func(_ *core.Packet, at sim.Time) { small = at }})
+			})
+			eng.Run()
+			eng2 := sim.NewEngine()
+			st2 := core.NewStats(0)
+			net2 := networks.MustNew(kind, eng2, p, st2)
+			b := bytes
+			eng2.Schedule(0, func() {
+				net2.Inject(&core.Packet{Src: 0, Dst: 9, Bytes: b,
+					OnDeliver: func(_ *core.Packet, at sim.Time) { big = at }})
+			})
+			eng2.Run()
+			if bytes > 16 && big < small {
+				t.Fatalf("%d B delivered faster (%v) than 16 B (%v)", bytes, big, small)
+			}
+		}
+	})
+}
+
+// Example of using the factory in documentation form.
+func ExampleNew() {
+	eng := sim.NewEngine()
+	p := core.DefaultParams()
+	st := core.NewStats(0)
+	net, err := networks.New(networks.PointToPoint, eng, p, st)
+	if err != nil {
+		panic(err)
+	}
+	eng.Schedule(0, func() {
+		net.Inject(&core.Packet{Src: 0, Dst: 63, Bytes: 64})
+	})
+	eng.Run()
+	fmt.Println(net.Name(), st.Delivered)
+	// Output: Point-to-Point 1
+}

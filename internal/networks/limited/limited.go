@@ -1,0 +1,119 @@
+// Package limited implements the limited point-to-point network with
+// electronic routing of paper §4.6.
+//
+// Each site has a dedicated 20 GB/s optical channel to each of its 7 row
+// peers and 7 column peers. Traffic to any other site takes exactly one
+// intermediate electronic hop: the packet travels optically to a site that
+// is a peer of both endpoints, is converted to the electronic domain, passes
+// through a single-cycle 7×7 router (charged 60 pJ/B), and is re-sent
+// optically to the destination. Each site hosts two routers — one forwarding
+// row→column and one column→row — so both L-shaped routes are available.
+package limited
+
+import (
+	"macrochip/internal/core"
+	"macrochip/internal/geometry"
+	"macrochip/internal/sim"
+)
+
+// Network is the limited point-to-point fabric.
+type Network struct {
+	eng   *sim.Engine
+	p     core.Params
+	stats *core.Stats
+	// chans[src][dst] exists only for row/column peers.
+	chans [][]*core.Channel
+}
+
+// New constructs the network.
+func New(eng *sim.Engine, p core.Params, stats *core.Stats) *Network {
+	n := p.Grid.Sites()
+	chans := make([][]*core.Channel, n)
+	for s := 0; s < n; s++ {
+		chans[s] = make([]*core.Channel, n)
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			a, b := geometry.SiteID(s), geometry.SiteID(d)
+			if p.Grid.SameRow(a, b) || p.Grid.SameCol(a, b) {
+				chans[s][d] = core.NewChannel(p.LimitedLinkGBs)
+			}
+		}
+	}
+	return &Network{eng: eng, p: p, stats: stats, chans: chans}
+}
+
+// Name implements core.Network.
+func (n *Network) Name() string { return "Limited Point-to-Point" }
+
+// Stats implements core.Network.
+func (n *Network) Stats() *core.Stats { return n.stats }
+
+// IsPeer reports whether src and dst share a row or column (direct channel).
+func (n *Network) IsPeer(src, dst geometry.SiteID) bool {
+	return n.chans[src][dst] != nil
+}
+
+// Forwarders returns the two candidate forwarding sites for a non-peer pair:
+// the row-first corner (src's row, dst's column, using the row→column
+// router) and the column-first corner (dst's row, src's column).
+func (n *Network) Forwarders(src, dst geometry.SiteID) (rowFirst, colFirst geometry.SiteID) {
+	g := n.p.Grid
+	return g.Site(g.Row(src), g.Col(dst)), g.Site(g.Row(dst), g.Col(src))
+}
+
+// Inject implements core.Network.
+func (n *Network) Inject(p *core.Packet) {
+	now := n.eng.Now()
+	n.stats.StampInjection(p, now)
+	switch {
+	case p.Src == p.Dst:
+		n.eng.Schedule(n.p.Cycles(n.p.IntraSiteCycles), func() {
+			n.stats.RecordDelivery(p, n.eng.Now())
+		})
+	case n.IsPeer(p.Src, p.Dst):
+		n.sendLeg(p, p.Src, p.Dst, true)
+	default:
+		// Pick the forwarder whose first leg currently has the smaller
+		// backlog; ties go to the row-first route. This models the two
+		// per-site routers without requiring an oracle.
+		rf, cf := n.Forwarders(p.Src, p.Dst)
+		f := rf
+		if n.chans[p.Src][cf].Backlog(now) < n.chans[p.Src][rf].Backlog(now) {
+			f = cf
+		}
+		n.sendVia(p, f)
+	}
+}
+
+// sendVia transmits p to forwarder f, applies the electronic hop, then
+// forwards to the destination.
+func (n *Network) sendVia(p *core.Packet, f geometry.SiteID) {
+	now := n.eng.Now()
+	_, end := n.chans[p.Src][f].Reserve(now, p.Bytes)
+	arrive := end + n.p.PropDelay(p.Src, f)
+	n.stats.AddOpticalTraversal(p.Bytes)
+	n.eng.Schedule(arrive-now, func() {
+		// O-E conversion + 7×7 router hop (1 cycle) + E-O conversion.
+		p.Hops++
+		n.stats.AddRouterBytes(p.Bytes)
+		n.eng.Schedule(n.p.Cycles(n.p.RouterCycles), func() {
+			n.sendLeg(p, f, p.Dst, true)
+		})
+	})
+}
+
+// sendLeg transmits p over the direct channel from a to b and, if final,
+// records delivery on arrival.
+func (n *Network) sendLeg(p *core.Packet, a, b geometry.SiteID, final bool) {
+	now := n.eng.Now()
+	_, end := n.chans[a][b].Reserve(now, p.Bytes)
+	arrive := end + n.p.PropDelay(a, b)
+	n.stats.AddOpticalTraversal(p.Bytes)
+	n.eng.Schedule(arrive-now, func() {
+		if final {
+			n.stats.RecordDelivery(p, n.eng.Now())
+		}
+	})
+}

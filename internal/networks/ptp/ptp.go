@@ -1,0 +1,75 @@
+// Package ptp implements the statically-routed WDM point-to-point network of
+// paper §4.2.
+//
+// Every site owns a dedicated optical data path to every other site: the
+// transmitter picks the waveguide leading to the destination's column and
+// the wavelength that the destination's drop filter extracts. There is no
+// switching, no arbitration and no path setup — a packet waits only for its
+// own channel to drain. Each channel is PtPWavelengthsPerChannel wavelengths
+// wide (2 × 2.5 GB/s = 5 GB/s by default), which is the network's only
+// weakness: a single site pair can never exceed 5 GB/s.
+package ptp
+
+import (
+	"macrochip/internal/core"
+	"macrochip/internal/geometry"
+	"macrochip/internal/sim"
+)
+
+// Network is the static point-to-point fabric.
+type Network struct {
+	eng   *sim.Engine
+	p     core.Params
+	stats *core.Stats
+	// chans[src][dst] is the dedicated channel; nil on the diagonal.
+	chans [][]*core.Channel
+}
+
+// New constructs the network.
+func New(eng *sim.Engine, p core.Params, stats *core.Stats) *Network {
+	n := p.Grid.Sites()
+	chans := make([][]*core.Channel, n)
+	for s := 0; s < n; s++ {
+		chans[s] = make([]*core.Channel, n)
+		for d := 0; d < n; d++ {
+			if s != d {
+				chans[s][d] = core.NewChannel(p.PtPChannelGBs())
+			}
+		}
+	}
+	return &Network{eng: eng, p: p, stats: stats, chans: chans}
+}
+
+// Name implements core.Network.
+func (n *Network) Name() string { return "Point-to-Point" }
+
+// Stats implements core.Network.
+func (n *Network) Stats() *core.Stats { return n.stats }
+
+// Inject implements core.Network: the packet serializes on its dedicated
+// channel and arrives one propagation delay after its last byte leaves.
+func (n *Network) Inject(p *core.Packet) {
+	now := n.eng.Now()
+	n.stats.StampInjection(p, now)
+	if p.Src == p.Dst {
+		n.eng.Schedule(n.p.Cycles(n.p.IntraSiteCycles), func() {
+			n.stats.RecordDelivery(p, n.eng.Now())
+		})
+		return
+	}
+	_, end := n.chans[p.Src][p.Dst].Reserve(now, p.Bytes)
+	arrive := end + n.p.PropDelay(p.Src, p.Dst)
+	n.stats.AddOpticalTraversal(p.Bytes)
+	n.eng.Schedule(arrive-now, func() {
+		n.stats.RecordDelivery(p, n.eng.Now())
+	})
+}
+
+// ChannelUtilization reports the utilization of the src→dst channel over the
+// elapsed run time — useful in tests and the load-sweep example.
+func (n *Network) ChannelUtilization(src, dst geometry.SiteID, elapsed sim.Time) float64 {
+	if src == dst {
+		return 0
+	}
+	return n.chans[src][dst].Utilization(elapsed)
+}

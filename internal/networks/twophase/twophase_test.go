@@ -1,0 +1,233 @@
+package twophase_test
+
+import (
+	"testing"
+
+	"macrochip/internal/core"
+	"macrochip/internal/networks/twophase"
+	"macrochip/internal/sim"
+)
+
+func setup() (*sim.Engine, core.Params, *core.Stats, *twophase.Network) {
+	eng := sim.NewEngine()
+	p := core.DefaultParams()
+	st := core.NewStats(0)
+	return eng, p, st, twophase.New(eng, p, st)
+}
+
+func TestArbitrationLead(t *testing.T) {
+	_, p, _, n := setup()
+	// Request across the row (7 × 2.25 cm × 0.1 ns/cm = 1.575 ns) + one
+	// 0.4 ns arbitration slot + notification down the column (1.575 ns) +
+	// 1 ns switch actuation = 4.55 ns.
+	want := sim.FromNanoseconds(1.575) + p.ArbSlotPS + sim.FromNanoseconds(1.575) + p.TwoPhaseSwitchSetupPS
+	if n.ArbitrationLead() != want {
+		t.Fatalf("arbitration lead = %v, want %v", n.ArbitrationLead(), want)
+	}
+}
+
+func TestUnloadedLatency(t *testing.T) {
+	eng, p, _, n := setup()
+	var at sim.Time
+	src, dst := p.Grid.Site(0, 0), p.Grid.Site(0, 1)
+	eng.Schedule(0, func() {
+		n.Inject(&core.Packet{Src: src, Dst: dst, Bytes: 64,
+			OnDeliver: func(_ *core.Packet, tt sim.Time) { at = tt }})
+	})
+	eng.Run()
+	// arbLead + retune gap (cold switch) + 64 B at 40 GB/s rounded to slots
+	// (1.6 ns = 4 slots exactly) + propagation.
+	want := n.ArbitrationLead() + p.TwoPhaseSwitchSetupPS + sim.FromNanoseconds(1.6) + p.PropDelay(src, dst)
+	if at != want {
+		t.Fatalf("delivery at %v, want %v", at, want)
+	}
+}
+
+func TestSlotRounding(t *testing.T) {
+	eng, p, _, n := setup()
+	var at16, at64 sim.Time
+	src, dst := p.Grid.Site(0, 0), p.Grid.Site(0, 1)
+	eng.Schedule(0, func() {
+		n.Inject(&core.Packet{Src: src, Dst: dst, Bytes: 16,
+			OnDeliver: func(_ *core.Packet, tt sim.Time) { at16 = tt }})
+	})
+	eng.Run()
+	eng2 := sim.NewEngine()
+	n2 := twophase.New(eng2, p, core.NewStats(0))
+	eng2.Schedule(0, func() {
+		n2.Inject(&core.Packet{Src: src, Dst: dst, Bytes: 64,
+			OnDeliver: func(_ *core.Packet, tt sim.Time) { at64 = tt }})
+	})
+	eng2.Run()
+	// 16 B = 0.4 ns = exactly one slot; 64 B = 4 slots. The difference in
+	// delivery must be exactly 3 slots.
+	if at64-at16 != 3*p.ArbSlotPS {
+		t.Fatalf("slot rounding wrong: 64B at %v, 16B at %v", at64, at16)
+	}
+}
+
+func TestBackToBackSameFlowSerializesPerColumn(t *testing.T) {
+	eng, p, _, n := setup()
+	src, dst := p.Grid.Site(0, 0), p.Grid.Site(0, 1)
+	var times []sim.Time
+	eng.Schedule(0, func() {
+		for i := 0; i < 3; i++ {
+			n.Inject(&core.Packet{Src: src, Dst: dst, Bytes: 64,
+				OnDeliver: func(_ *core.Packet, tt sim.Time) { times = append(times, tt) }})
+		}
+	})
+	eng.Run()
+	// The single switch tree permits one in-flight packet per column: the
+	// next packet re-arbitrates when the previous one delivers, so the
+	// spacing is arbLead + slot + propagation (no retune: same sender).
+	want := n.ArbitrationLead() + sim.FromNanoseconds(1.6) + p.PropDelay(src, dst)
+	if times[1]-times[0] != want {
+		t.Fatalf("same-flow gap = %v, want %v", times[1]-times[0], want)
+	}
+	if times[2]-times[1] != want {
+		t.Fatalf("same-flow gap2 = %v, want %v", times[2]-times[1], want)
+	}
+}
+
+func TestAlternatingSendersPayRetuneGap(t *testing.T) {
+	eng, p, _, n := setup()
+	g := p.Grid
+	dst := g.Site(0, 0)
+	a, b := g.Site(0, 1), g.Site(0, 2)
+	var times []sim.Time
+	eng.Schedule(0, func() {
+		for i := 0; i < 4; i++ {
+			src := a
+			if i%2 == 1 {
+				src = b
+			}
+			n.Inject(&core.Packet{Src: src, Dst: dst, Bytes: 64,
+				OnDeliver: func(_ *core.Packet, tt sim.Time) { times = append(times, tt) }})
+		}
+	})
+	eng.Run()
+	if len(times) != 4 {
+		t.Fatalf("delivered %d", len(times))
+	}
+	// Alternating senders: every slot pays the 1 ns retune on the shared
+	// destination channel; spacing = slot + gap (propagation from a and b
+	// to dst differs by one pitch, so compare the slot cadence with a
+	// tolerance of that difference).
+	slotGap := sim.FromNanoseconds(1.6) + p.TwoPhaseSwitchSetupPS
+	d1 := times[1] - times[0]
+	if d1 < slotGap-sim.FromNanoseconds(0.3) || d1 > slotGap+sim.FromNanoseconds(0.3) {
+		t.Fatalf("alternating gap = %v, want ~%v", d1, slotGap)
+	}
+}
+
+func TestSwitchTreeSerializesColumn(t *testing.T) {
+	// One source bursting to all 8 destinations in the same column shares a
+	// single switch tree: the transmissions pipeline one at a time, so the
+	// whole burst takes at least 8 × (slot + retune) beyond the first
+	// arbitration, whereas bursts to 8 different columns overlap freely.
+	p := core.DefaultParams()
+	run := func(sameColumn bool) sim.Time {
+		eng := sim.NewEngine()
+		n := twophase.New(eng, p, core.NewStats(0))
+		g := p.Grid
+		var last sim.Time
+		eng.Schedule(0, func() {
+			for r := 0; r < g.N; r++ {
+				dst := g.Site(r, 3)
+				if !sameColumn {
+					dst = g.Site(3, r)
+				}
+				if dst == g.Site(0, 0) {
+					dst = g.Site(4, 4)
+				}
+				n.Inject(&core.Packet{Src: g.Site(0, 0), Dst: dst, Bytes: 64,
+					OnDeliver: func(_ *core.Packet, at sim.Time) {
+						if at > last {
+							last = at
+						}
+					}})
+			}
+		})
+		eng.Run()
+		return last
+	}
+	same, spread := run(true), run(false)
+	if same <= spread+4*sim.Nanosecond {
+		t.Fatalf("same-column burst (%v) should be much slower than spread burst (%v)", same, spread)
+	}
+}
+
+func TestALTHasMoreTrees(t *testing.T) {
+	// The same same-column burst on the ALT design (two trees) must finish
+	// faster than on the base design.
+	p := core.DefaultParams()
+	run := func(alt bool) sim.Time {
+		eng := sim.NewEngine()
+		st := core.NewStats(0)
+		var n *twophase.Network
+		if alt {
+			n = twophase.NewALT(eng, p, st)
+		} else {
+			n = twophase.New(eng, p, st)
+		}
+		g := p.Grid
+		var last sim.Time
+		eng.Schedule(0, func() {
+			for r := 0; r < g.N; r++ {
+				for i := 0; i < 4; i++ {
+					n.Inject(&core.Packet{Src: g.Site(0, 0), Dst: g.Site(r, 3), Bytes: 64,
+						OnDeliver: func(_ *core.Packet, at sim.Time) {
+							if at > last {
+								last = at
+							}
+						}})
+				}
+			}
+		})
+		eng.Run()
+		return last
+	}
+	base, alt := run(false), run(true)
+	if alt >= base {
+		t.Fatalf("ALT burst finished at %v, base at %v — ALT should be faster", alt, base)
+	}
+}
+
+func TestNames(t *testing.T) {
+	eng := sim.NewEngine()
+	p := core.DefaultParams()
+	if got := twophase.New(eng, p, core.NewStats(0)).Name(); got != "2-Phase Arb." {
+		t.Fatalf("base name = %q", got)
+	}
+	if got := twophase.NewALT(eng, p, core.NewStats(0)).Name(); got != "2-Phase Arb. ALT" {
+		t.Fatalf("alt name = %q", got)
+	}
+}
+
+func TestArbMessageAccounting(t *testing.T) {
+	eng, p, st, n := setup()
+	eng.Schedule(0, func() {
+		n.Inject(&core.Packet{Src: p.Grid.Site(0, 0), Dst: p.Grid.Site(1, 1), Bytes: 64})
+	})
+	eng.Run()
+	// One request + one notification (no wasted slots at zero load).
+	if st.ArbMessages != 2 {
+		t.Fatalf("arb messages = %d, want 2", st.ArbMessages)
+	}
+	if st.OpticalTraversalBytes != 64 {
+		t.Fatalf("optical bytes = %d, want 64", st.OpticalTraversalBytes)
+	}
+}
+
+func TestLoopback(t *testing.T) {
+	eng, p, _, n := setup()
+	var at sim.Time
+	eng.Schedule(0, func() {
+		n.Inject(&core.Packet{Src: 7, Dst: 7, Bytes: 64,
+			OnDeliver: func(_ *core.Packet, tt sim.Time) { at = tt }})
+	})
+	eng.Run()
+	if at != p.Cycles(1) {
+		t.Fatalf("loopback at %v", at)
+	}
+}

@@ -1,0 +1,182 @@
+// Package photonics models the silicon-photonic device technology of the
+// macrochip (paper §2, table 1): component energies, insertion losses, and
+// link-budget arithmetic. The parameters are the paper's projections for the
+// 2014–2015 time frame and are encoded as a parameterized device library so
+// that ablation studies can vary them.
+package photonics
+
+import (
+	"fmt"
+	"math"
+)
+
+// DB is an optical power ratio expressed in decibels.
+type DB float64
+
+// Factor converts a dB loss into the linear power multiplier that compensates
+// for it: Factor(10 dB) = 10×.
+func (d DB) Factor() float64 { return math.Pow(10, float64(d)/10) }
+
+// FromFactor converts a linear power ratio to dB.
+func FromFactor(f float64) DB { return DB(10 * math.Log10(f)) }
+
+// Components holds the optical component properties of table 1 plus the
+// handful of additional parameters quoted in the body of §2. Energies are in
+// femtojoules per bit; losses in dB; powers in milliwatts.
+type Components struct {
+	// ModulatorEnergyFJ is the dynamic energy of the ring modulator
+	// (35 fJ/bit).
+	ModulatorEnergyFJ float64
+	// ModulatorLossDB is the insertion loss of an on-resonance (transmitting)
+	// modulator (4 dB).
+	ModulatorLossDB DB
+	// ModulatorOffLossDB is the loss a wavelength suffers passing one
+	// disabled (off-resonance) ring (0.1 dB). This term dominates the
+	// token-ring network's budget (paper §4.4).
+	ModulatorOffLossDB DB
+	// OPxCLossDB is the loss of one optical proximity coupling between chips
+	// (1.2 dB).
+	OPxCLossDB DB
+	// WaveguideLossDBPerCM is the loss of the local thinned-SOI waveguides
+	// (0.5 dB/cm).
+	WaveguideLossDBPerCM DB
+	// GlobalWaveguideLossDBPerCM is the loss of the thick-SOI routing-layer
+	// waveguides (0.1 dB/cm).
+	GlobalWaveguideLossDBPerCM DB
+	// MuxLossDB is the worst-case channel insertion loss of the cascaded-ring
+	// WDM multiplexer (2.5 dB).
+	MuxLossDB DB
+	// DropPassLossDB is the loss for a wavelength passing through (not
+	// selected by) a drop filter (0.1 dB).
+	DropPassLossDB DB
+	// DropSelectLossDB is the loss for the wavelength selected by a drop
+	// filter (1.5 dB).
+	DropSelectLossDB DB
+	// ReceiverEnergyFJ is the dynamic energy of the photodetector + amplifier
+	// (65 fJ/bit).
+	ReceiverEnergyFJ float64
+	// ReceiverSensitivityDBM is the minimum detectable power (-21 dBm).
+	ReceiverSensitivityDBM float64
+	// ReceiverPowerMW is the receiver circuit power at 20 Gb/s (1.3 mW).
+	ReceiverPowerMW float64
+	// SwitchLossDB is the maximum insertion loss of a broadband 1×2 ring
+	// switch (1 dB).
+	SwitchLossDB DB
+	// Switch4x4LossDB is the more aggressive per-hop loss assumed for the
+	// circuit-switched network's 4×4 switches (0.5 dB, paper §4.5).
+	Switch4x4LossDB DB
+	// SwitchPowerMW is the power of one active switch (0.5 mW).
+	SwitchPowerMW float64
+	// LaserEnergyFJ is the static laser energy charged per transmitted bit
+	// (50 fJ/bit).
+	LaserEnergyFJ float64
+	// LaserPowerPerWavelengthMW is the baseline optical launch power per
+	// wavelength before loss compensation (1 mW, paper §6.3).
+	LaserPowerPerWavelengthMW float64
+	// ModulatorPowerMW is the modulator circuit power at 20 Gb/s (0.7 mW).
+	ModulatorPowerMW float64
+	// TuningPowerMW is the ring-tuning power per wavelength for mux and drop
+	// filters (0.1 mW).
+	TuningPowerMW float64
+	// BitRateGbps is the per-wavelength line rate (20 Gb/s).
+	BitRateGbps float64
+	// PropagationNSPerCM is the optical propagation delay in SOI waveguides:
+	// light travels at about 0.3c, i.e. 0.1 ns/cm (paper §1).
+	PropagationNSPerCM float64
+}
+
+// Default returns the paper's table-1 technology point.
+func Default() Components {
+	return Components{
+		ModulatorEnergyFJ:          35,
+		ModulatorLossDB:            4,
+		ModulatorOffLossDB:         0.1,
+		OPxCLossDB:                 1.2,
+		WaveguideLossDBPerCM:       0.5,
+		GlobalWaveguideLossDBPerCM: 0.1,
+		MuxLossDB:                  2.5,
+		DropPassLossDB:             0.1,
+		DropSelectLossDB:           1.5,
+		ReceiverEnergyFJ:           65,
+		ReceiverSensitivityDBM:     -21,
+		ReceiverPowerMW:            1.3,
+		SwitchLossDB:               1,
+		Switch4x4LossDB:            0.5,
+		SwitchPowerMW:              0.5,
+		LaserEnergyFJ:              50,
+		LaserPowerPerWavelengthMW:  1,
+		ModulatorPowerMW:           0.7,
+		TuningPowerMW:              0.1,
+		BitRateGbps:                20,
+		PropagationNSPerCM:         0.1,
+	}
+}
+
+// BytesPerSecond returns the data rate of one wavelength in bytes/second
+// (2.5 GB/s at the default 20 Gb/s).
+func (c Components) BytesPerSecond() float64 { return c.BitRateGbps * 1e9 / 8 }
+
+// DynamicEnergyPerBitFJ returns the electro-optic conversion energy per bit
+// for one optical traversal: modulation plus reception plus the static laser
+// energy amortized per bit (35 + 65 + 50 = 150 fJ/bit at the default point).
+func (c Components) DynamicEnergyPerBitFJ() float64 {
+	return c.ModulatorEnergyFJ + c.ReceiverEnergyFJ + c.LaserEnergyFJ
+}
+
+// LinkBudget describes the loss stack-up of one optical path.
+type LinkBudget struct {
+	Entries []BudgetEntry
+}
+
+// BudgetEntry is one loss contribution in a link budget.
+type BudgetEntry struct {
+	Name string
+	Loss DB
+}
+
+// Add appends a loss term and returns the budget for chaining.
+func (b *LinkBudget) Add(name string, loss DB) *LinkBudget {
+	b.Entries = append(b.Entries, BudgetEntry{Name: name, Loss: loss})
+	return b
+}
+
+// TotalDB returns the summed loss.
+func (b *LinkBudget) TotalDB() DB {
+	var t DB
+	for _, e := range b.Entries {
+		t += e.Loss
+	}
+	return t
+}
+
+// MarginDB returns the margin left when launching launchDBM optical power
+// against the receiver sensitivity: launch - loss - sensitivity.
+func (b *LinkBudget) MarginDB(c Components, launchDBM float64) DB {
+	return DB(launchDBM) - b.TotalDB() - DB(c.ReceiverSensitivityDBM)
+}
+
+// String renders the budget as a table, one line per entry.
+func (b *LinkBudget) String() string {
+	s := ""
+	for _, e := range b.Entries {
+		s += fmt.Sprintf("%-28s %6.2f dB\n", e.Name, float64(e.Loss))
+	}
+	s += fmt.Sprintf("%-28s %6.2f dB", "total", float64(b.TotalDB()))
+	return s
+}
+
+// UnswitchedLink returns the canonical site-to-site link budget of paper §2:
+// modulator (4) + mux (2.5) + OPxC down (1.2) + worst-case global waveguide
+// (6) + OPxC up (1.2) + drop filter (1.5) + pass-by drop filters (~0.6),
+// totaling 17 dB.
+func UnswitchedLink(c Components, passByDrops int) *LinkBudget {
+	b := &LinkBudget{}
+	b.Add("modulator (on resonance)", c.ModulatorLossDB)
+	b.Add("WDM multiplexer", c.MuxLossDB)
+	b.Add("OPxC down to substrate", c.OPxCLossDB)
+	b.Add("global waveguide (worst case)", 6.0)
+	b.Add("OPxC up to receiver", c.OPxCLossDB)
+	b.Add("pass-by drop filters", DB(float64(passByDrops))*c.DropPassLossDB)
+	b.Add("drop filter (selected)", c.DropSelectLossDB)
+	return b
+}

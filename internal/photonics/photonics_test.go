@@ -1,0 +1,174 @@
+package photonics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDBFactor(t *testing.T) {
+	cases := []struct {
+		db   DB
+		want float64
+	}{
+		{0, 1},
+		{10, 10},
+		{3, 1.995},
+		{12.8, 19.05},
+		{20, 100},
+	}
+	for _, c := range cases {
+		if got := c.db.Factor(); !almost(got, c.want, 0.01) {
+			t.Errorf("(%v dB).Factor() = %.3f, want %.3f", c.db, got, c.want)
+		}
+	}
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	f := func(x uint16) bool {
+		db := DB(float64(x%400) / 10) // 0..40 dB
+		return almost(float64(FromFactor(db.Factor())), float64(db), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultComponentsMatchTable1(t *testing.T) {
+	c := Default()
+	if c.ModulatorEnergyFJ != 35 || c.ReceiverEnergyFJ != 65 || c.LaserEnergyFJ != 50 {
+		t.Fatal("table-1 energies wrong")
+	}
+	if c.ModulatorLossDB != 4 || c.OPxCLossDB != 1.2 || c.SwitchLossDB != 1 {
+		t.Fatal("table-1 losses wrong")
+	}
+	if c.DropPassLossDB != 0.1 || c.DropSelectLossDB != 1.5 {
+		t.Fatal("drop filter losses wrong")
+	}
+	if c.BytesPerSecond() != 2.5e9 {
+		t.Fatalf("BytesPerSecond = %v, want 2.5e9", c.BytesPerSecond())
+	}
+	if c.DynamicEnergyPerBitFJ() != 150 {
+		t.Fatalf("DynamicEnergyPerBitFJ = %v, want 150", c.DynamicEnergyPerBitFJ())
+	}
+}
+
+func TestUnswitchedLinkBudget(t *testing.T) {
+	// Paper §2: "the optical link loss for an un-switched link is 17 dB",
+	// with a 0 dBm launch and -21 dBm sensitivity leaving 4 dB margin.
+	c := Default()
+	b := UnswitchedLink(c, 6)
+	if got := float64(b.TotalDB()); !almost(got, 17.0, 0.01) {
+		t.Fatalf("unswitched link loss = %.2f dB, want 17", got)
+	}
+	if m := float64(b.MarginDB(c, 0)); !almost(m, 4.0, 0.01) {
+		t.Fatalf("margin = %.2f dB, want 4", m)
+	}
+	if !strings.Contains(b.String(), "total") {
+		t.Fatal("budget String() missing total line")
+	}
+}
+
+func TestBudgetAdd(t *testing.T) {
+	b := &LinkBudget{}
+	b.Add("a", 1).Add("b", 2.5)
+	if got := b.TotalDB(); got != 3.5 {
+		t.Fatalf("TotalDB = %v, want 3.5", got)
+	}
+	if len(b.Entries) != 2 {
+		t.Fatalf("entries = %d", len(b.Entries))
+	}
+}
+
+// Table 5 checks: loss factors and laser powers per network.
+
+func TestTokenRingLossMatchesPaper(t *testing.T) {
+	c := Default()
+	l := TokenRingLoss(c, 64, 2)
+	if got := float64(l.ExtraDB); !almost(got, 12.8, 1e-9) {
+		t.Fatalf("token-ring extra loss = %.2f dB, want 12.8", got)
+	}
+	if f := l.Factor(); !almost(f, 19.05, 0.05) {
+		t.Fatalf("token-ring factor = %.2f, want ~19", f)
+	}
+	// Paper: 155 W for 8192 wavelengths.
+	if p := LaserPowerWatts(c, 8192, l); !almost(p, 156, 2) {
+		t.Fatalf("token-ring laser power = %.1f W, want ~155", p)
+	}
+	// The original Corona WDM factors the paper rejects:
+	if got := float64(TokenRingLoss(c, 64, 8).ExtraDB); !almost(got, 51.2, 1e-9) {
+		t.Fatalf("WDM-8 loss = %.1f dB, want 51.2", got)
+	}
+	if got := float64(TokenRingLoss(c, 64, 64).ExtraDB); !almost(got, 409.6, 1e-9) {
+		t.Fatalf("WDM-64 loss = %.1f dB, want 409.6", got)
+	}
+}
+
+func TestPointToPointLossMatchesPaper(t *testing.T) {
+	c := Default()
+	for _, l := range []NetworkLoss{PointToPointLoss(), LimitedPointToPointLoss()} {
+		if l.Factor() != 1 {
+			t.Fatalf("%s factor = %v, want 1", l.Name, l.Factor())
+		}
+		if p := LaserPowerWatts(c, 8192, l); !almost(p, 8.19, 0.01) {
+			t.Fatalf("%s laser power = %.2f W, want ~8", l.Name, p)
+		}
+	}
+}
+
+func TestCircuitSwitchedLossMatchesPaper(t *testing.T) {
+	c := Default()
+	l := CircuitSwitchedLoss(c, 31)
+	if got := float64(l.ExtraDB); !almost(got, 15.5, 1e-9) {
+		t.Fatalf("circuit loss = %.1f dB, want 15.5", got)
+	}
+	// The paper rounds to 15 dB / 30× / 245 W; exact arithmetic gives
+	// 15.5 dB / 35.5× / 291 W. We verify the computed value and record the
+	// rounding in EXPERIMENTS.md.
+	if f := l.Factor(); !almost(f, 35.5, 0.1) {
+		t.Fatalf("circuit factor = %.1f, want ~35.5 exact (paper rounds to 30)", f)
+	}
+}
+
+func TestTwoPhaseLossMatchesPaper(t *testing.T) {
+	c := Default()
+	base := TwoPhaseDataLoss(c, 7, false)
+	if f := base.Factor(); !almost(f, 5.01, 0.02) {
+		t.Fatalf("two-phase base factor = %.2f, want ~5", f)
+	}
+	if p := LaserPowerWatts(c, 8192, base); !almost(p, 41, 0.3) {
+		t.Fatalf("two-phase data laser power = %.1f W, want ~41", p)
+	}
+	alt := TwoPhaseDataLoss(c, 6, true)
+	if f := alt.Factor(); !almost(f, 3.98, 0.02) {
+		t.Fatalf("two-phase ALT factor = %.2f, want ~4", f)
+	}
+	if p := LaserPowerWatts(c, 16384, alt); !almost(p, 65.2, 0.5) {
+		t.Fatalf("two-phase ALT laser power = %.1f W, want ~65.5", p)
+	}
+	arb := TwoPhaseArbitrationLoss(8)
+	if f := arb.Factor(); !almost(f, 8, 0.01) {
+		t.Fatalf("arbitration factor = %.2f, want 8", f)
+	}
+	if p := LaserPowerWatts(c, 128, arb); !almost(p, 1.02, 0.01) {
+		t.Fatalf("arbitration laser power = %.2f W, want ~1", p)
+	}
+}
+
+func TestLossFactorMonotone(t *testing.T) {
+	// More switch hops can never reduce required laser power.
+	c := Default()
+	f := func(a, b uint8) bool {
+		x, y := int(a%32), int(b%32)
+		if x > y {
+			x, y = y, x
+		}
+		return CircuitSwitchedLoss(c, x).Factor() <= CircuitSwitchedLoss(c, y).Factor()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+package photonics
+
+import (
+	"sort"
+
+	"macrochip/internal/sim"
+)
+
+// This file adds a Monte-Carlo link-margin yield analysis on top of the
+// nominal table-1 budgets. The paper sizes every link for its *worst-case*
+// loss and notes that achieving the energy targets "involves many optics
+// and circuits challenges, including high efficiency resonator tuning ...
+// precision chip alignment" (§2). Fabrication tolerance and thermal drift
+// turn each loss term into a distribution; this analysis asks what fraction
+// of links still close (margin ≥ 0) under component-level variation — and
+// how the answer differs between a zero-switch point-to-point link and a
+// path through dozens of variant switches.
+
+// Tolerance gives the per-component 1σ loss variation in dB. The defaults
+// are 10% of each nominal insertion loss — a representative silicon
+// photonics process corner, adjustable per study.
+type Tolerance struct {
+	ModulatorSigma DB
+	MuxSigma       DB
+	OPxCSigma      DB
+	// WaveguideSigma applies to the whole worst-case waveguide run.
+	WaveguideSigma DB
+	DropSigma      DB
+	// SwitchSigma applies per switch hop of the network's extra loss.
+	SwitchSigma DB
+}
+
+// DefaultTolerance returns 10%-of-nominal sigmas for the default component
+// library.
+func DefaultTolerance(c Components) Tolerance {
+	return Tolerance{
+		ModulatorSigma: c.ModulatorLossDB * 0.1,
+		MuxSigma:       c.MuxLossDB * 0.1,
+		OPxCSigma:      c.OPxCLossDB * 0.1,
+		WaveguideSigma: 0.6, // 10% of the 6 dB worst-case run
+		DropSigma:      c.DropSelectLossDB * 0.1,
+		SwitchSigma:    c.SwitchLossDB * 0.1,
+	}
+}
+
+// YieldResult summarizes the Monte-Carlo margin distribution.
+type YieldResult struct {
+	Trials int
+	// Yield is the fraction of sampled links with non-negative margin.
+	Yield float64
+	// MeanMarginDB and MinMarginDB describe the margin distribution.
+	MeanMarginDB, MinMarginDB DB
+	// P5MarginDB is the 5th-percentile margin (the guard band a designer
+	// actually cares about).
+	P5MarginDB DB
+}
+
+// LinkYield samples `trials` instances of a site-to-site link whose
+// compensated launch power covers the nominal budget (base 17 dB + the
+// network's nominal extra loss), with each component's loss drawn from a
+// truncated normal around its nominal value. switchHops spreads the extra
+// loss over that many independently varying switch stages (0 for
+// switchless networks).
+func LinkYield(c Components, extra NetworkLoss, switchHops, trials int, tol Tolerance, seed int64) YieldResult {
+	rng := sim.NewRNG(seed)
+	// The paper launches 0 dBm into the nominal 17 dB budget (4 dB margin
+	// against the −21 dBm sensitivity); switched networks raise the launch
+	// by their nominal extra loss (the table-5 compensation), so nominal
+	// margin is 4 dB for every design and variation eats into it.
+	launch := 0.0 + float64(extra.ExtraDB) // dBm
+	margins := make([]float64, 0, trials)
+
+	sample := func(nominal, sigma DB) float64 {
+		v := rng.Normal(float64(nominal), float64(sigma))
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+
+	var sum float64
+	minM := 1e9
+	ok := 0
+	for i := 0; i < trials; i++ {
+		loss := sample(c.ModulatorLossDB, tol.ModulatorSigma) +
+			sample(c.MuxLossDB, tol.MuxSigma) +
+			sample(c.OPxCLossDB, tol.OPxCSigma)*2 +
+			sample(6.0, tol.WaveguideSigma) +
+			sample(6*c.DropPassLossDB, tol.DropSigma) +
+			sample(c.DropSelectLossDB, tol.DropSigma)
+		if switchHops > 0 {
+			per := float64(extra.ExtraDB) / float64(switchHops)
+			for h := 0; h < switchHops; h++ {
+				loss += sample(DB(per), tol.SwitchSigma)
+			}
+		} else {
+			loss += float64(extra.ExtraDB)
+		}
+		margin := launch - loss - c.ReceiverSensitivityDBM
+		margins = append(margins, margin)
+		sum += margin
+		if margin < minM {
+			minM = margin
+		}
+		if margin >= 0 {
+			ok++
+		}
+	}
+	// 5th percentile by partial sort.
+	p5 := percentile(margins, 5)
+	return YieldResult{
+		Trials:       trials,
+		Yield:        float64(ok) / float64(trials),
+		MeanMarginDB: DB(sum / float64(trials)),
+		MinMarginDB:  DB(minM),
+		P5MarginDB:   DB(p5),
+	}
+}
+
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	k := int(p / 100 * float64(len(xs)))
+	if k >= len(xs) {
+		k = len(xs) - 1
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return cp[k]
+}

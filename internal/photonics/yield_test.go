@@ -1,0 +1,83 @@
+package photonics
+
+import (
+	"testing"
+)
+
+func TestYieldNoToleranceIsNominal(t *testing.T) {
+	c := Default()
+	r := LinkYield(c, PointToPointLoss(), 0, 500, Tolerance{}, 1)
+	if r.Yield != 1 {
+		t.Fatalf("zero-tolerance yield = %v", r.Yield)
+	}
+	// Every trial has exactly the 4 dB nominal margin.
+	if !almost(float64(r.MeanMarginDB), 4.0, 0.01) || !almost(float64(r.MinMarginDB), 4.0, 0.01) {
+		t.Fatalf("margins = mean %v min %v, want 4 dB", r.MeanMarginDB, r.MinMarginDB)
+	}
+}
+
+func TestYieldDegradesWithTolerance(t *testing.T) {
+	c := Default()
+	tol := DefaultTolerance(c)
+	r := LinkYield(c, PointToPointLoss(), 0, 5000, tol, 2)
+	if r.Yield <= 0.9 || r.Yield > 1 {
+		t.Fatalf("point-to-point yield = %v, expected high but possibly <1", r.Yield)
+	}
+	if r.MeanMarginDB < 3 || r.MeanMarginDB > 5 {
+		t.Fatalf("mean margin = %v, want ~4 dB", r.MeanMarginDB)
+	}
+	if r.P5MarginDB >= r.MeanMarginDB {
+		t.Fatalf("p5 margin %v not below mean %v", r.P5MarginDB, r.MeanMarginDB)
+	}
+	if r.MinMarginDB > r.P5MarginDB {
+		t.Fatalf("min %v above p5 %v", r.MinMarginDB, r.P5MarginDB)
+	}
+}
+
+func TestSwitchedPathsHaveWiderSpread(t *testing.T) {
+	// A circuit-switched worst-case path crosses 31 varying switches: its
+	// 5th-percentile margin must sit below the switchless link's, even
+	// though both are compensated to the same 4 dB nominal margin.
+	c := Default()
+	tol := DefaultTolerance(c)
+	const trials = 8000
+	ptp := LinkYield(c, PointToPointLoss(), 0, trials, tol, 3)
+	cs := LinkYield(c, CircuitSwitchedLoss(c, 31), 31, trials, tol, 3)
+	if cs.P5MarginDB >= ptp.P5MarginDB {
+		t.Fatalf("31-switch path p5 margin %v not below switchless %v",
+			cs.P5MarginDB, ptp.P5MarginDB)
+	}
+	if cs.Yield > ptp.Yield {
+		t.Fatalf("switched yield %v above switchless %v", cs.Yield, ptp.Yield)
+	}
+}
+
+func TestYieldDeterministicPerSeed(t *testing.T) {
+	c := Default()
+	tol := DefaultTolerance(c)
+	a := LinkYield(c, PointToPointLoss(), 0, 1000, tol, 9)
+	b := LinkYield(c, PointToPointLoss(), 0, 1000, tol, 9)
+	if a != b {
+		t.Fatal("same-seed yield runs differ")
+	}
+}
+
+func TestPercentileHelper(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if got := percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := percentile(xs, 100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := percentile(xs, 50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	// The helper must not mutate its input.
+	if xs[0] != 5 {
+		t.Fatal("percentile mutated input")
+	}
+}

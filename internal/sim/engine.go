@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events are compared first by time, then by
+// insertion sequence, which makes execution order fully deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// not usable; create one with NewEngine.
+//
+// The engine is deliberately minimal: models schedule closures, the engine
+// runs them in (time, sequence) order and exposes the current simulated time.
+// There is no process abstraction — every model in this repository is written
+// in event-callback style, which keeps runs fast and deterministic.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	// executed counts events dispatched since construction; useful both in
+	// tests and for reporting simulation effort.
+	executed uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events waiting to run.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Executed returns the number of events dispatched so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Schedule runs fn after delay. A negative delay panics: the kernel never
+// travels backwards in time.
+func (e *Engine) Schedule(delay Duration, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute time t, which must not precede the current time.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// Stop makes Run and RunUntil return after the current event completes.
+// Pending events are retained, so a stopped engine can be resumed.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called. It returns
+// the time of the last executed event (or the current time if none ran).
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		e.step()
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline (if the deadline is in the future) and returns. It
+// also honors Stop.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped && e.events[0].at <= deadline {
+		e.step()
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.executed++
+	ev.fn()
+}

@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Nanosecond != 1000 {
+		t.Fatalf("Nanosecond = %d, want 1000", int64(Nanosecond))
+	}
+	if Microsecond != 1000*Nanosecond || Millisecond != 1000*Microsecond || Second != 1000*Millisecond {
+		t.Fatal("unit ladder broken")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{12800 * Picosecond, "12.800ns"},
+		{1500 * Nanosecond, "1.500us"},
+		{2500 * Microsecond, "2.500ms"},
+		{3 * Second, "3.000s"},
+		{-500 * Picosecond, "-500ps"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestFromNanoseconds(t *testing.T) {
+	if got := FromNanoseconds(12.8); got != 12800*Picosecond {
+		t.Errorf("FromNanoseconds(12.8) = %d, want 12800", int64(got))
+	}
+	if got := FromNanoseconds(-1.0); got != -1000 {
+		t.Errorf("FromNanoseconds(-1) = %d, want -1000", int64(got))
+	}
+	if got := FromSeconds(1e-9); got != Nanosecond {
+		t.Errorf("FromSeconds(1ns) = %d, want %d", int64(got), int64(Nanosecond))
+	}
+}
+
+func TestNanosecondsRoundTrip(t *testing.T) {
+	f := func(ns uint32) bool {
+		tm := Time(ns) * Nanosecond
+		return FromNanoseconds(tm.Nanoseconds()) == tm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	// Same timestamp: insertion order must win.
+	e.Schedule(20, func() { order = append(order, 4) })
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("Run returned %v, want 30ps", end)
+	}
+	want := []int{1, 2, 4, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			e.Schedule(5, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.Run()
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+	if e.Now() != 99*5 {
+		t.Fatalf("Now = %v, want 495ps", e.Now())
+	}
+	if e.Executed() != 100 {
+		t.Fatalf("Executed = %d, want 100", e.Executed())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, d := range []Time{10, 20, 30, 40} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events by t=25, want 2", len(fired))
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now = %v, want 25ps", e.Now())
+	}
+	e.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events total, want 4", len(fired))
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v, want 100ps", e.Now())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(10, func() { ran++; e.Stop() })
+	e.Schedule(20, func() { ran++ })
+	e.Run()
+	if ran != 1 {
+		t.Fatalf("ran = %d after Stop, want 1", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	// Resume.
+	e.Run()
+	if ran != 2 {
+		t.Fatalf("ran = %d after resume, want 2", ran)
+	}
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(-1) did not panic")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestEnginePastAtPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(past) did not panic")
+		}
+	}()
+	e.At(50, func() {})
+}
+
+// The heap must stay consistent under arbitrary interleavings of schedule
+// times: events always run in non-decreasing time order.
+func TestEngineMonotonicProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var seen []Time
+		for _, d := range delays {
+			e.Schedule(Time(d), func() { seen = append(seen, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+}
+
+func TestRNGDeriveIndependence(t *testing.T) {
+	// Derived streams with different labels must differ from each other and
+	// from the parent.
+	parent := NewRNG(7)
+	c1 := parent.Derive(1)
+	c2 := parent.Derive(2)
+	same12, sameP := 0, 0
+	p := NewRNG(7)
+	p.Int63() // parent consumed one value per Derive
+	p.Int63()
+	for i := 0; i < 100; i++ {
+		v1, v2 := c1.Int63(), c2.Int63()
+		if v1 == v2 {
+			same12++
+		}
+		if v1 == p.Int63() {
+			sameP++
+		}
+	}
+	if same12 > 2 || sameP > 2 {
+		t.Fatalf("derived streams look correlated: same12=%d sameP=%d", same12, sameP)
+	}
+}
+
+func TestRNGExpDuration(t *testing.T) {
+	g := NewRNG(1)
+	const mean = 1000 * Picosecond
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d := g.ExpDuration(mean)
+		if d < 1 {
+			t.Fatalf("ExpDuration returned %d < 1", int64(d))
+		}
+		sum += float64(d)
+	}
+	got := sum / n
+	if got < 950 || got > 1050 {
+		t.Fatalf("mean of ExpDuration = %.1f, want ~1000", got)
+	}
+}
+
+func TestRNGBool(t *testing.T) {
+	g := NewRNG(3)
+	hits := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if g.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("Bool(0.3) frequency = %.3f", frac)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		var tick func()
+		n := 0
+		tick = func() {
+			n++
+			if n < 1000 {
+				e.Schedule(Time(n%17), tick)
+			}
+		}
+		e.Schedule(0, tick)
+		e.Run()
+	}
+}

@@ -1,0 +1,69 @@
+package sim
+
+import "math/rand"
+
+// RNG is a deterministic pseudo-random stream. Each model component that
+// needs randomness (traffic generators, workload models, sharer selection)
+// owns its own stream, derived from the run seed and a component label, so
+// adding randomness to one component never perturbs another.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a stream seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Derive returns a new independent stream whose seed combines the parent
+// seed deterministically with the given label. SplitMix64-style mixing keeps
+// the derived seeds well spread even for small labels.
+func (g *RNG) Derive(label int64) *RNG {
+	z := uint64(g.r.Int63()) ^ (uint64(label)+0x9e3779b97f4a7c15)*0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return NewRNG(int64(z & 0x7fffffffffffffff))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// ExpDuration returns an exponentially distributed duration with the given
+// mean, rounded to the nearest picosecond and never less than one
+// picosecond. It is used for Poisson packet-injection processes.
+func (g *RNG) ExpDuration(mean Duration) Duration {
+	d := Time(g.r.ExpFloat64()*float64(mean) + 0.5)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation.
+func (g *RNG) Normal(mean, sigma float64) float64 {
+	return mean + sigma*g.r.NormFloat64()
+}
+
+// Geometric returns an exponentially distributed positive integer with the
+// given mean (≥1). It models the instruction distance between cache misses.
+func (g *RNG) Geometric(mean float64) int {
+	n := int(g.r.ExpFloat64()*mean + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }

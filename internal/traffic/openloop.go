@@ -1,0 +1,58 @@
+package traffic
+
+import (
+	"macrochip/internal/core"
+	"macrochip/internal/geometry"
+	"macrochip/internal/sim"
+)
+
+// OpenLoop drives a network with independent per-site Poisson packet
+// sources, the load model behind the paper's figure-6 latency-vs-offered-
+// load study: "the input driver for these simulations probabilistically
+// generates data packets in a specific communication pattern".
+type OpenLoop struct {
+	Eng     *sim.Engine
+	Params  core.Params
+	Net     core.Network
+	Pattern Pattern
+	// Load is the offered load per site as a fraction of the 320 GB/s site
+	// bandwidth (figure 6's x axis).
+	Load float64
+	// PacketBytes is the fixed packet size (64 B in the paper's tests).
+	PacketBytes int
+	// Until stops generation at this simulated time.
+	Until sim.Time
+	// Seed selects the random streams.
+	Seed int64
+}
+
+// Start schedules the first injection for every site. Call before Engine.Run.
+func (o *OpenLoop) Start() {
+	if o.Load <= 0 {
+		return
+	}
+	bytesPerPS := o.Load * o.Params.SiteBandwidthGBs * 1e-3 // GB/s → B/ps
+	mean := sim.Time(float64(o.PacketBytes)/bytesPerPS + 0.5)
+	root := sim.NewRNG(o.Seed)
+	for s := 0; s < o.Params.Grid.Sites(); s++ {
+		site := geometry.SiteID(s)
+		rng := root.Derive(int64(s))
+		o.scheduleNext(site, rng, mean)
+	}
+}
+
+func (o *OpenLoop) scheduleNext(site geometry.SiteID, rng *sim.RNG, mean sim.Time) {
+	gap := rng.ExpDuration(mean)
+	o.Eng.Schedule(gap, func() {
+		if o.Eng.Now() > o.Until {
+			return
+		}
+		o.Net.Inject(&core.Packet{
+			Src:   site,
+			Dst:   o.Pattern.Dest(site, rng),
+			Bytes: o.PacketBytes,
+			Class: core.ClassData,
+		})
+		o.scheduleNext(site, rng, mean)
+	})
+}

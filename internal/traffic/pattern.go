@@ -1,0 +1,121 @@
+// Package traffic provides the synthetic traffic patterns of paper table 3
+// and the open-loop load generator used for the figure-6 latency/throughput
+// study.
+package traffic
+
+import (
+	"fmt"
+
+	"macrochip/internal/geometry"
+	"macrochip/internal/sim"
+)
+
+// Pattern selects a destination for each generated packet. Implementations
+// must be deterministic given the RNG stream.
+type Pattern interface {
+	Name() string
+	// Dest returns the destination for a packet sourced at src. It may
+	// return src itself (e.g. butterfly fixed points), which the networks
+	// treat as single-cycle intra-site traffic.
+	Dest(src geometry.SiteID, rng *sim.RNG) geometry.SiteID
+}
+
+// Uniform sends every packet to a destination chosen uniformly at random
+// among the other sites (table 3 "Uniform"; called "all-to-all" in the
+// benchmark figures).
+type Uniform struct{ Grid geometry.Grid }
+
+// Name implements Pattern.
+func (Uniform) Name() string { return "uniform" }
+
+// Dest implements Pattern.
+func (u Uniform) Dest(src geometry.SiteID, rng *sim.RNG) geometry.SiteID {
+	n := u.Grid.Sites()
+	d := geometry.SiteID(rng.Intn(n - 1))
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Transpose swaps the first and second halves of the site-id bits, mapping
+// site (r, c) to (c, r). Every site sends to exactly one destination;
+// diagonal sites send to themselves.
+type Transpose struct{ Grid geometry.Grid }
+
+// Name implements Pattern.
+func (Transpose) Name() string { return "transpose" }
+
+// Dest implements Pattern.
+func (t Transpose) Dest(src geometry.SiteID, _ *sim.RNG) geometry.SiteID {
+	g := t.Grid
+	return g.Site(g.Col(src), g.Row(src))
+}
+
+// Butterfly swaps the least- and most-significant bits of the site id. Half
+// the sites have equal end bits and therefore send to themselves — the
+// intra-node half the paper notes when discussing the butterfly results.
+type Butterfly struct{ Grid geometry.Grid }
+
+// Name implements Pattern.
+func (Butterfly) Name() string { return "butterfly" }
+
+// Dest implements Pattern.
+func (b Butterfly) Dest(src geometry.SiteID, _ *sim.RNG) geometry.SiteID {
+	bits := uint(1)
+	for n := b.Grid.Sites(); n > 2; n >>= 1 {
+		bits++
+	}
+	id := uint(src)
+	lsb := id & 1
+	msb := (id >> (bits - 1)) & 1
+	id &^= 1 | 1<<(bits-1)
+	id |= msb | lsb<<(bits-1)
+	return geometry.SiteID(id)
+}
+
+// Neighbor sends each packet to one of the four grid neighbors chosen at
+// random (table 3 "Neighbor"). Edges wrap toroidally so every site has four
+// neighbors; the paper does not state its edge behavior, and wrapping keeps
+// the load spatially uniform.
+type Neighbor struct{ Grid geometry.Grid }
+
+// Name implements Pattern.
+func (Neighbor) Name() string { return "neighbor" }
+
+// Dest implements Pattern.
+func (nb Neighbor) Dest(src geometry.SiteID, rng *sim.RNG) geometry.SiteID {
+	g := nb.Grid
+	r, c := g.Row(src), g.Col(src)
+	switch rng.Intn(4) {
+	case 0:
+		r = (r + 1) % g.N
+	case 1:
+		r = (r + g.N - 1) % g.N
+	case 2:
+		c = (c + 1) % g.N
+	default:
+		c = (c + g.N - 1) % g.N
+	}
+	return g.Site(r, c)
+}
+
+// ByName returns the pattern with the given table-3 name.
+func ByName(name string, g geometry.Grid) (Pattern, error) {
+	switch name {
+	case "uniform", "all-to-all":
+		return Uniform{g}, nil
+	case "transpose":
+		return Transpose{g}, nil
+	case "butterfly":
+		return Butterfly{g}, nil
+	case "neighbor", "nearest-neighbor":
+		return Neighbor{g}, nil
+	}
+	return nil, fmt.Errorf("traffic: unknown pattern %q", name)
+}
+
+// All returns the four table-3 patterns in figure-6 order.
+func All(g geometry.Grid) []Pattern {
+	return []Pattern{Uniform{g}, Transpose{g}, Neighbor{g}, Butterfly{g}}
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"testing"
+
+	"macrochip/internal/geometry"
+	"macrochip/internal/traffic"
+)
+
+func g() geometry.Grid { return geometry.Default8x8() }
+
+func TestElevenWorkloads(t *testing.T) {
+	all := All(g(), 1)
+	if len(all) != 11 {
+		t.Fatalf("got %d workloads, want 11 (6 apps + 5 synthetics)", len(all))
+	}
+	wantOrder := []string{
+		"radix", "barnes", "blackscholes", "densities", "forces", "swaptions",
+		"all-to-all", "transpose", "transpose-MS", "neighbor", "butterfly",
+	}
+	for i, w := range wantOrder {
+		if all[i].Name != w {
+			t.Fatalf("workload %d = %q, want %q (paper figure order)", i, all[i].Name, w)
+		}
+	}
+}
+
+func TestSyntheticsDrivenAtFourPercent(t *testing.T) {
+	for _, b := range Synthetics(g(), 1) {
+		if b.MissPerInstr != SyntheticMissRate {
+			t.Errorf("%s miss rate = %v, want 0.04", b.Name, b.MissPerInstr)
+		}
+	}
+}
+
+func TestTransposeMSUsesMoreSharing(t *testing.T) {
+	for _, b := range Synthetics(g(), 1) {
+		wantMS := b.Name == "transpose-MS"
+		isMS := b.Mix.PSharers == 0.40 && b.Mix.NSharers == 3
+		if isMS != wantMS {
+			t.Errorf("%s sharing mix = %+v", b.Name, b.Mix)
+		}
+	}
+}
+
+func TestSyntheticPatterns(t *testing.T) {
+	pats := map[string]string{
+		"all-to-all":   "uniform",
+		"transpose":    "transpose",
+		"transpose-MS": "transpose",
+		"neighbor":     "neighbor",
+		"butterfly":    "butterfly",
+	}
+	for _, b := range Synthetics(g(), 1) {
+		if got := b.Pattern.Name(); got != pats[b.Name] {
+			t.Errorf("%s pattern = %q, want %q", b.Name, got, pats[b.Name])
+		}
+	}
+}
+
+func TestApplicationsUseUniformHomes(t *testing.T) {
+	// Directory homes are address-interleaved, so every application kernel
+	// spreads its coherence traffic uniformly (see the package comment).
+	for _, b := range Applications(g(), 1) {
+		if _, ok := b.Pattern.(traffic.Uniform); !ok {
+			t.Errorf("%s home pattern = %T, want uniform", b.Name, b.Pattern)
+		}
+	}
+}
+
+func TestBarnesIsLightest(t *testing.T) {
+	apps := Applications(g(), 1)
+	for _, b := range apps {
+		if b.Name == "barnes" {
+			continue
+		}
+		var barnes float64
+		for _, bb := range apps {
+			if bb.Name == "barnes" {
+				barnes = bb.MissPerInstr
+			}
+		}
+		if b.MissPerInstr <= barnes {
+			t.Errorf("%s miss rate %v not above barnes %v", b.Name, b.MissPerInstr, barnes)
+		}
+	}
+}
+
+func TestScaleFloorsQuota(t *testing.T) {
+	for _, b := range All(g(), 0.0001) {
+		if b.InstrPerCore < 200 {
+			t.Errorf("%s quota %d below floor", b.Name, b.InstrPerCore)
+		}
+	}
+	full := All(g(), 1)
+	half := All(g(), 0.5)
+	for i := range full {
+		if half[i].InstrPerCore >= full[i].InstrPerCore {
+			t.Errorf("%s: scale 0.5 quota %d not below full %d",
+				full[i].Name, half[i].InstrPerCore, full[i].InstrPerCore)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("swaptions", g(), 1)
+	if err != nil || b.Name != "swaptions" {
+		t.Fatalf("ByName(swaptions) = %v, %v", b.Name, err)
+	}
+	if _, err := ByName("nope", g(), 1); err == nil {
+		t.Fatal("ByName(nope) should fail")
+	}
+}

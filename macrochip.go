@@ -1,0 +1,248 @@
+// Package macrochip is a simulation library for silicon-photonic multi-chip
+// interconnection networks, reproducing "Silicon-Photonic Network
+// Architectures for Scalable, Power-Efficient Multi-Chip Systems" (Koka,
+// McCracken, Schwetman, Zheng, Ho, Krishnamoorthy — ISCA 2010).
+//
+// The macrochip is an 8×8 array of processor/memory sites on an SOI optical
+// routing substrate. This package exposes the paper's full evaluation stack:
+//
+//   - five inter-site network architectures (plus the two-phase ALT
+//     variant): a static WDM point-to-point network, a two-phase arbitrated
+//     network, a limited point-to-point network with electronic routing, a
+//     token-ring crossbar (Corona adapted), and a circuit-switched torus;
+//   - the synthetic traffic patterns and open-loop load sweep of figure 6;
+//   - the trace-driven CPU / MOESI coherence model and the eleven workloads
+//     of figures 7–10;
+//   - the optical power, energy-delay, and component-count analyses of
+//     tables 5 and 6.
+//
+// Quick start:
+//
+//	sys := macrochip.NewSystem()
+//	pt, _ := sys.RunLoadPoint(macrochip.PointToPoint, "uniform", 0.5)
+//	fmt.Printf("mean latency %.1f ns\n", pt.MeanLatencyNS)
+//
+// See examples/ for complete programs and DESIGN.md for the model inventory.
+package macrochip
+
+import (
+	"fmt"
+
+	"macrochip/internal/core"
+	"macrochip/internal/harness"
+	"macrochip/internal/networks"
+	"macrochip/internal/traffic"
+	"macrochip/internal/workload"
+)
+
+// Network names one of the evaluated architectures.
+type Network string
+
+// The six evaluated network designs.
+const (
+	TokenRing       Network = Network(networks.TokenRing)
+	CircuitSwitched Network = Network(networks.CircuitSwitched)
+	PointToPoint    Network = Network(networks.PointToPoint)
+	LimitedPtP      Network = Network(networks.LimitedPtP)
+	TwoPhase        Network = Network(networks.TwoPhase)
+	TwoPhaseALT     Network = Network(networks.TwoPhaseALT)
+)
+
+// Networks returns the five figure-6 architectures; AllNetworks adds the
+// two-phase ALT variant.
+func Networks() []Network {
+	out := []Network{}
+	for _, k := range networks.Five() {
+		out = append(out, Network(k))
+	}
+	return out
+}
+
+// AllNetworks returns all six designs in the paper's legend order.
+func AllNetworks() []Network {
+	out := []Network{}
+	for _, k := range networks.Six() {
+		out = append(out, Network(k))
+	}
+	return out
+}
+
+// System is a configured macrochip simulation environment. The zero
+// configuration is the paper's table-4 setup: 64 sites, 8 cores/site,
+// 320 GB/s per site, 20 TB/s peak.
+type System struct {
+	p    core.Params
+	seed int64
+}
+
+// Option adjusts the simulated configuration.
+type Option func(*System)
+
+// NewSystem returns a system with the paper's default configuration,
+// modified by the given options.
+func NewSystem(opts ...Option) *System {
+	s := &System{p: core.DefaultParams(), seed: 1}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// WithSeed sets the random seed for all simulations run by the system.
+func WithSeed(seed int64) Option { return func(s *System) { s.seed = seed } }
+
+// WithMSHRs sets the per-site MSHR count (coherence concurrency limit).
+func WithMSHRs(n int) Option { return func(s *System) { s.p.MSHRsPerSite = n } }
+
+// WithPtPWavelengths sets the number of wavelengths per point-to-point
+// channel (2 in the paper → 5 GB/s channels).
+func WithPtPWavelengths(n int) Option {
+	return func(s *System) { s.p.PtPWavelengthsPerChannel = n }
+}
+
+// WithTokenWDM sets the token-ring adaptation's WDM factor (default 2).
+// Higher densities shrink the waveguide plant but multiply the pass-by
+// ring loss — the trade-off of paper §4.4. The data-path timing model is
+// WDM-independent; this drives the power and complexity analyses.
+func WithTokenWDM(n int) Option { return func(s *System) { s.p.TokenWDM = n } }
+
+// WithCircuitSlots sets the number of concurrent circuits per site gateway.
+func WithCircuitSlots(n int) Option {
+	return func(s *System) { s.p.CircuitSlotsPerSite = n }
+}
+
+// Params exposes a copy of the low-level parameter block for inspection.
+func (s *System) Params() core.Params { return s.p }
+
+// LoadPoint is one measurement of the latency-vs-offered-load study.
+type LoadPoint struct {
+	// Load is offered load per site as a fraction of 320 GB/s.
+	Load float64
+	// MeanLatencyNS, P95LatencyNS and MaxLatencyNS are packet latencies in
+	// nanoseconds.
+	MeanLatencyNS, P95LatencyNS, MaxLatencyNS float64
+	// ThroughputGBs is the accepted throughput summed over all sites.
+	ThroughputGBs float64
+	// OfferedGBs is the configured injection rate over all sites.
+	OfferedGBs float64
+	// Saturated marks points past the latency asymptote.
+	Saturated bool
+}
+
+// RunLoadPoint simulates one point of figure 6: the named network under the
+// named pattern ("uniform", "transpose", "neighbor", "butterfly") at the
+// given offered load (fraction of per-site peak), using 64-byte packets.
+func (s *System) RunLoadPoint(n Network, pattern string, load float64) (LoadPoint, error) {
+	pat, err := traffic.ByName(pattern, s.p.Grid)
+	if err != nil {
+		return LoadPoint{}, err
+	}
+	cfg := harness.DefaultLoadPointConfig()
+	cfg.Params = s.p
+	cfg.Network = networks.Kind(n)
+	cfg.Pattern = pat
+	cfg.Load = load
+	cfg.Seed = s.seed
+	r := harness.RunLoadPoint(cfg)
+	return fromLoadPoint(r), nil
+}
+
+// SweepLoad runs RunLoadPoint across the paper's load grid for the pattern.
+func (s *System) SweepLoad(n Network, pattern string) ([]LoadPoint, error) {
+	out := []LoadPoint{}
+	for _, load := range harness.Figure6Loads(pattern) {
+		pt, err := s.RunLoadPoint(n, pattern, load)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func fromLoadPoint(r harness.LoadPoint) LoadPoint {
+	return LoadPoint{
+		Load:          r.Load,
+		MeanLatencyNS: r.MeanLatency.Nanoseconds(),
+		P95LatencyNS:  r.P95Latency.Nanoseconds(),
+		MaxLatencyNS:  r.MaxLatency.Nanoseconds(),
+		ThroughputGBs: r.ThroughputGBs,
+		OfferedGBs:    r.OfferedGBs,
+		Saturated:     r.Saturated,
+	}
+}
+
+// WorkloadResult is one (workload, network) benchmark outcome.
+type WorkloadResult struct {
+	Workload string
+	Network  Network
+	// RuntimeNS is the simulated execution time in nanoseconds.
+	RuntimeNS float64
+	// Ops is the number of coherence operations completed.
+	Ops uint64
+	// LatencyPerOpNS is the figure-8 metric.
+	LatencyPerOpNS float64
+	// NetworkEnergyJ is laser + electro-optic + router energy.
+	NetworkEnergyJ float64
+	// RouterEnergyFraction is the figure-9 metric (share of total energy,
+	// compute included).
+	RouterEnergyFraction float64
+	// EDP is network energy × latency per op, in joule-seconds.
+	EDP float64
+}
+
+// Workloads returns the names of the eleven paper workloads in figure
+// order.
+func (s *System) Workloads() []string {
+	names := []string{}
+	for _, b := range workload.All(s.p.Grid, 1) {
+		names = append(names, b.Name)
+	}
+	return names
+}
+
+// RunWorkload executes one coherence-driven workload on one network. Scale
+// multiplies the instruction quota (1.0 = paper-scale runs used by
+// cmd/figures; tests use smaller values).
+func (s *System) RunWorkload(n Network, name string, scale float64) (WorkloadResult, error) {
+	b, err := workload.ByName(name, s.p.Grid, workload.Scale(scale))
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	r := harness.RunBenchmark(b, networks.Kind(n), s.p, s.seed)
+	return WorkloadResult{
+		Workload:             name,
+		Network:              n,
+		RuntimeNS:            r.Runtime.Nanoseconds(),
+		Ops:                  r.Ops,
+		LatencyPerOpNS:       r.LatencyPerOp.Nanoseconds(),
+		NetworkEnergyJ:       r.Energy.NetworkJ(),
+		RouterEnergyFraction: r.Energy.RouterFraction(),
+		EDP:                  r.Energy.EDP(r.LatencyPerOp),
+	}, nil
+}
+
+// Speedups runs one workload across all six networks and returns each
+// network's speedup normalized to the circuit-switched design (figure 7).
+func (s *System) Speedups(name string, scale float64) (map[Network]float64, error) {
+	b, err := workload.ByName(name, s.p.Grid, workload.Scale(scale))
+	if err != nil {
+		return nil, err
+	}
+	row := harness.StudyRow{Benchmark: name, Cells: map[networks.Kind]harness.BenchResult{}}
+	for _, k := range networks.Six() {
+		row.Cells[k] = harness.RunBenchmark(b, k, s.p, s.seed)
+	}
+	out := map[Network]float64{}
+	for _, k := range networks.Six() {
+		out[Network(k)] = row.Speedup(k)
+	}
+	return out, nil
+}
+
+// String returns a short description of the configuration.
+func (s *System) String() string {
+	return fmt.Sprintf("macrochip %d×%d, %d cores/site, %.0f GB/s/site, %.1f TB/s peak, seed %d",
+		s.p.Grid.N, s.p.Grid.N, s.p.CoresPerSite, s.p.SiteBandwidthGBs,
+		s.p.PeakBandwidthGBs()/1000, s.seed)
+}

@@ -1,0 +1,149 @@
+package macrochip_test
+
+import (
+	"strings"
+	"testing"
+
+	"macrochip"
+)
+
+func TestNewSystemDefaults(t *testing.T) {
+	sys := macrochip.NewSystem()
+	p := sys.Params()
+	if p.Grid.Sites() != 64 || p.CoresPerSite != 8 {
+		t.Fatal("default configuration is not the paper's table 4")
+	}
+	if !strings.Contains(sys.String(), "8×8") {
+		t.Fatalf("String() = %q", sys.String())
+	}
+}
+
+func TestNetworkLists(t *testing.T) {
+	if got := len(macrochip.Networks()); got != 5 {
+		t.Fatalf("Networks() has %d entries, want 5", got)
+	}
+	if got := len(macrochip.AllNetworks()); got != 6 {
+		t.Fatalf("AllNetworks() has %d entries, want 6", got)
+	}
+}
+
+func TestRunLoadPoint(t *testing.T) {
+	sys := macrochip.NewSystem(macrochip.WithSeed(3))
+	pt, err := sys.RunLoadPoint(macrochip.PointToPoint, "uniform", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.MeanLatencyNS <= 0 || pt.Saturated {
+		t.Fatalf("point-to-point at 20%% load: %+v", pt)
+	}
+	if pt.ThroughputGBs < 0.9*pt.OfferedGBs {
+		t.Fatalf("accepted %v below offered %v", pt.ThroughputGBs, pt.OfferedGBs)
+	}
+}
+
+func TestRunLoadPointBadPattern(t *testing.T) {
+	sys := macrochip.NewSystem()
+	if _, err := sys.RunLoadPoint(macrochip.PointToPoint, "zigzag", 0.1); err == nil {
+		t.Fatal("expected error for unknown pattern")
+	}
+}
+
+func TestWorkloadsList(t *testing.T) {
+	sys := macrochip.NewSystem()
+	names := sys.Workloads()
+	if len(names) != 11 {
+		t.Fatalf("got %d workloads", len(names))
+	}
+	if names[0] != "radix" || names[10] != "butterfly" {
+		t.Fatalf("order wrong: %v", names)
+	}
+}
+
+func TestRunWorkload(t *testing.T) {
+	sys := macrochip.NewSystem(macrochip.WithSeed(5))
+	r, err := sys.RunWorkload(macrochip.PointToPoint, "swaptions", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RuntimeNS <= 0 || r.Ops == 0 || r.LatencyPerOpNS <= 0 {
+		t.Fatalf("implausible result: %+v", r)
+	}
+	if r.NetworkEnergyJ <= 0 || r.EDP <= 0 {
+		t.Fatalf("energy accounting empty: %+v", r)
+	}
+	if r.RouterEnergyFraction != 0 {
+		t.Fatalf("point-to-point has no routers, fraction = %v", r.RouterEnergyFraction)
+	}
+	if _, err := sys.RunWorkload(macrochip.PointToPoint, "nope", 1); err == nil {
+		t.Fatal("expected unknown-workload error")
+	}
+}
+
+func TestSpeedupsNormalizedToCircuitSwitched(t *testing.T) {
+	sys := macrochip.NewSystem(macrochip.WithSeed(5))
+	sp, err := sys.Speedups("blackscholes", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp[macrochip.CircuitSwitched] != 1.0 {
+		t.Fatalf("circuit-switched speedup = %v, want 1", sp[macrochip.CircuitSwitched])
+	}
+	if sp[macrochip.PointToPoint] <= 1.5 {
+		t.Fatalf("point-to-point speedup = %v, want clearly above 1", sp[macrochip.PointToPoint])
+	}
+}
+
+func TestPowerTable(t *testing.T) {
+	rows := macrochip.NewSystem().PowerTable()
+	if len(rows) != 7 {
+		t.Fatalf("power table has %d rows", len(rows))
+	}
+	byName := map[string]macrochip.PowerRow{}
+	for _, r := range rows {
+		byName[r.Network] = r
+	}
+	ptp := byName[string(macrochip.PointToPoint)]
+	tok := byName[string(macrochip.TokenRing)]
+	if ptp.LaserWatts >= tok.LaserWatts/10 {
+		t.Fatalf("paper claim violated: ptp %.1f W vs token %.1f W (want >10× gap)",
+			ptp.LaserWatts, tok.LaserWatts)
+	}
+}
+
+func TestComponentTable(t *testing.T) {
+	rows := macrochip.NewSystem().ComponentTable()
+	if len(rows) != 7 {
+		t.Fatalf("component table has %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Network == "Point-to-Point" && (r.Tx != 8192 || r.Waveguides != 3072 || r.Switches != 0) {
+			t.Fatalf("point-to-point row wrong: %+v", r)
+		}
+	}
+}
+
+func TestLinkBudget(t *testing.T) {
+	lb := macrochip.NewSystem().LinkBudget()
+	if !strings.Contains(lb, "17.00 dB") {
+		t.Fatalf("link budget missing 17 dB total:\n%s", lb)
+	}
+}
+
+func TestStaticLaserWatts(t *testing.T) {
+	sys := macrochip.NewSystem()
+	if w := sys.StaticLaserWatts(macrochip.PointToPoint); w < 8 || w > 8.5 {
+		t.Fatalf("point-to-point laser = %v W, want ~8.2", w)
+	}
+}
+
+func TestOptions(t *testing.T) {
+	sys := macrochip.NewSystem(macrochip.WithMSHRs(4), macrochip.WithPtPWavelengths(4),
+		macrochip.WithCircuitSlots(8))
+	p := sys.Params()
+	if p.MSHRsPerSite != 4 || p.PtPWavelengthsPerChannel != 4 || p.CircuitSlotsPerSite != 8 {
+		t.Fatalf("options not applied: %+v", p)
+	}
+	if p.PtPChannelGBs() != 10 {
+		t.Fatalf("4-wavelength channel = %v GB/s, want 10", p.PtPChannelGBs())
+	}
+}

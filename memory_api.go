@@ -1,0 +1,40 @@
+package macrochip
+
+import "macrochip/internal/memory"
+
+// WithMemory selects the off-package main-memory technology preset used by
+// home sites that must fetch data ("on-package", "fiber-dram",
+// "fiber-stacked", "fiber-scm"). The default is the paper's baseline: all
+// data on package. This realizes the study the paper defers to future work
+// (§5, §8: "the performance impacts of different memory technologies").
+func WithMemory(tech string) Option {
+	return func(s *System) { s.p.MemoryTech = tech }
+}
+
+// MemoryTechnologies lists the available presets with their zero-load
+// off-package fetch latency for a 72-byte data message.
+func MemoryTechnologies() []MemoryTech {
+	out := []MemoryTech{}
+	for _, t := range memory.Technologies() {
+		lat := 0.0
+		if t.ChannelGBs > 0 {
+			lat = 2*t.FiberMeters*5 + t.AccessNS + 72/t.ChannelGBs
+		}
+		out = append(out, MemoryTech{
+			Name: t.Name, AccessNS: t.AccessNS, FiberMeters: t.FiberMeters,
+			ChannelGBs: t.ChannelGBs, MissFraction: t.MissFraction,
+			FetchLatencyNS: lat,
+		})
+	}
+	return out
+}
+
+// MemoryTech describes one main-memory preset.
+type MemoryTech struct {
+	Name           string
+	AccessNS       float64
+	FiberMeters    float64
+	ChannelGBs     float64
+	MissFraction   float64
+	FetchLatencyNS float64
+}

@@ -1,0 +1,62 @@
+package macrochip
+
+import (
+	"macrochip/internal/core"
+	"macrochip/internal/msgpass"
+	"macrochip/internal/networks"
+	"macrochip/internal/sim"
+)
+
+// MessagePassingResult summarizes one bulk-synchronous message-passing run
+// (the workload class the paper defers to future work, §8).
+type MessagePassingResult struct {
+	Pattern string
+	Network Network
+	// RuntimeNS is total simulated time; ExchangeNS is the mean
+	// communication time per iteration (compute excluded).
+	RuntimeNS, ExchangeNS float64
+	// BytesMoved is total payload delivered.
+	BytesMoved uint64
+	// EffectiveGBs is aggregate delivered bandwidth during exchanges.
+	EffectiveGBs float64
+}
+
+// MessagePassingPatterns lists the available patterns: "halo", "alltoall",
+// "allreduce", "ring".
+func MessagePassingPatterns() []string {
+	out := []string{}
+	for _, p := range msgpass.Patterns() {
+		out = append(out, string(p))
+	}
+	return out
+}
+
+// RunMessagePassing executes a bulk-synchronous message-passing workload:
+// `iterations` rounds of computeNS of computation followed by a pattern
+// exchange of messageBytes-sized messages, with a barrier per round.
+func (s *System) RunMessagePassing(n Network, pattern string, messageBytes int, computeNS float64, iterations int) (MessagePassingResult, error) {
+	eng := sim.NewEngine()
+	stats := core.NewStats(0)
+	net, err := networks.New(networks.Kind(n), eng, s.p, stats)
+	if err != nil {
+		return MessagePassingResult{}, err
+	}
+	r, err := msgpass.NewRunner(eng, s.p, net, msgpass.Config{
+		Pattern:      msgpass.Pattern(pattern),
+		MessageBytes: messageBytes,
+		ComputeNS:    computeNS,
+		Iterations:   iterations,
+	})
+	if err != nil {
+		return MessagePassingResult{}, err
+	}
+	res := r.Run()
+	return MessagePassingResult{
+		Pattern:      pattern,
+		Network:      n,
+		RuntimeNS:    res.Runtime.Nanoseconds(),
+		ExchangeNS:   res.ExchangeNS,
+		BytesMoved:   res.BytesMoved,
+		EffectiveGBs: res.EffectiveGBs,
+	}, nil
+}

@@ -1,0 +1,66 @@
+package macrochip
+
+import (
+	"macrochip/internal/core"
+	"macrochip/internal/networks"
+	"macrochip/internal/power"
+	"macrochip/internal/sim"
+	"macrochip/internal/trace"
+)
+
+// TraceResult extends WorkloadResult with the cache-level metrics that only
+// the trace-driven mode produces.
+type TraceResult struct {
+	WorkloadResult
+	// L2MissRate is the emergent aggregate miss rate across all sites.
+	L2MissRate float64
+	// Writebacks counts dirty-eviction messages.
+	Writebacks uint64
+	// Invalidations counts directory-initiated invalidation messages.
+	Invalidations uint64
+}
+
+// TraceWorkloads lists the kernels available in trace-driven mode.
+func (s *System) TraceWorkloads() []string {
+	names := []string{}
+	for _, p := range trace.Profiles(1) {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// RunTraceWorkload executes a kernel in trace-driven mode: synthetic
+// per-core reference streams flow through real per-site L2 caches and a
+// full-map MOESI directory, so miss rates and sharing are emergent (see
+// internal/trace). Scale multiplies the per-core reference quota.
+func (s *System) RunTraceWorkload(n Network, name string, scale float64) (TraceResult, error) {
+	prof, err := trace.ProfileByName(name, scale)
+	if err != nil {
+		return TraceResult{}, err
+	}
+	eng := sim.NewEngine()
+	stats := core.NewStats(0)
+	kind := networks.Kind(n)
+	net, err := networks.New(kind, eng, s.p, stats)
+	if err != nil {
+		return TraceResult{}, err
+	}
+	m := trace.NewMachine(eng, s.p, net, stats, prof)
+	r := m.Run(s.seed)
+	energy := power.Compute(kind, s.p, stats, r.Runtime)
+	return TraceResult{
+		WorkloadResult: WorkloadResult{
+			Workload:             name + "(trace)",
+			Network:              n,
+			RuntimeNS:            r.Runtime.Nanoseconds(),
+			Ops:                  r.Ops,
+			LatencyPerOpNS:       r.LatencyPerOp.Nanoseconds(),
+			NetworkEnergyJ:       energy.NetworkJ(),
+			RouterEnergyFraction: energy.RouterFraction(),
+			EDP:                  energy.EDP(r.LatencyPerOp),
+		},
+		L2MissRate:    m.MissRate(),
+		Writebacks:    m.Writebacks,
+		Invalidations: m.Directory().InvalidationsSent,
+	}, nil
+}

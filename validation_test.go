@@ -1,0 +1,156 @@
+// Validation tests assert the paper's headline claims end-to-end through
+// the public API — the statements a reader of §6/§8 would check first.
+package macrochip_test
+
+import (
+	"testing"
+
+	"macrochip"
+	"macrochip/internal/harness"
+	"macrochip/internal/networks"
+	"macrochip/internal/sim"
+	"macrochip/internal/traffic"
+)
+
+// TestValidationUniformSaturationOrdering asserts §6.1's central ordering:
+// under uniform traffic the sustained-bandwidth ranking is circuit-switched
+// < two-phase < token ring < limited point-to-point < point-to-point.
+func TestValidationUniformSaturationOrdering(t *testing.T) {
+	cfg := harness.DefaultLoadPointConfig()
+	cfg.Warmup = 400 * sim.Nanosecond
+	cfg.Measure = 1200 * sim.Nanosecond
+	cfg.Pattern = traffic.Uniform{Grid: cfg.Params.Grid}
+	sat := map[networks.Kind]float64{}
+	for _, k := range networks.Five() {
+		c := cfg
+		c.Network = k
+		sat[k] = harness.SaturationSearch(c, 0.005, 1.0, 0.01)
+	}
+	order := []networks.Kind{
+		networks.CircuitSwitched, networks.TwoPhase, networks.TokenRing,
+		networks.LimitedPtP, networks.PointToPoint,
+	}
+	for i := 1; i < len(order); i++ {
+		if sat[order[i]] <= sat[order[i-1]] {
+			t.Fatalf("saturation ordering violated: %v", sat)
+		}
+	}
+	// Band checks against the paper's §6.1 numbers.
+	checks := []struct {
+		k      networks.Kind
+		lo, hi float64
+	}{
+		{networks.PointToPoint, 0.85, 1.0},     // paper ~95%
+		{networks.LimitedPtP, 0.40, 0.55},      // paper ~47%
+		{networks.TokenRing, 0.30, 0.50},       // paper ~40%
+		{networks.TwoPhase, 0.05, 0.11},        // paper ~7.5%
+		{networks.CircuitSwitched, 0.01, 0.04}, // paper ~2.5%
+	}
+	for _, c := range checks {
+		if sat[c.k] < c.lo || sat[c.k] > c.hi {
+			t.Errorf("%s uniform saturation = %.3f, want in [%.2f, %.2f]", c.k, sat[c.k], c.lo, c.hi)
+		}
+	}
+}
+
+// TestValidationPointToPointWinsApplications asserts the paper's central
+// performance conclusion: the point-to-point network beats the token ring
+// and both two-phase designs on the application kernels (§6.2).
+func TestValidationPointToPointWinsApplications(t *testing.T) {
+	sys := macrochip.NewSystem(macrochip.WithSeed(1))
+	for _, app := range []string{"radix", "blackscholes", "swaptions"} {
+		sp, err := sys.Speedups(app, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp := sp[macrochip.PointToPoint]
+		for _, other := range []macrochip.Network{
+			macrochip.TokenRing, macrochip.TwoPhase, macrochip.TwoPhaseALT, macrochip.CircuitSwitched,
+		} {
+			if pp <= sp[other] {
+				t.Errorf("%s: point-to-point speedup %.2f not above %s %.2f",
+					app, pp, other, sp[other])
+			}
+		}
+		// §6.2/§8: 3–8× over circuit-switched in the paper; we accept the
+		// same side of 3× (our circuit model is somewhat slower).
+		if pp < 3 {
+			t.Errorf("%s: point-to-point only %.2f× over circuit-switched", app, pp)
+		}
+	}
+}
+
+// TestValidationLimitedWinsNeighbor asserts §6.2's one exception: the
+// limited point-to-point network is the best design on nearest-neighbor
+// traffic (paper: 5× over circuit-switched).
+func TestValidationLimitedWinsNeighbor(t *testing.T) {
+	sys := macrochip.NewSystem(macrochip.WithSeed(1))
+	sp, err := sys.Speedups("neighbor", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := sp[macrochip.LimitedPtP]
+	for _, other := range macrochip.AllNetworks() {
+		if other == macrochip.LimitedPtP {
+			continue
+		}
+		if lim <= sp[other] {
+			t.Errorf("limited %.2f not above %s %.2f on neighbor", lim, other, sp[other])
+		}
+	}
+	if lim < 4 {
+		t.Errorf("limited neighbor speedup = %.2f, paper has ~5×", lim)
+	}
+}
+
+// TestValidationPowerHeadline asserts the abstract's power claim: the
+// point-to-point network is over 10× more power-efficient than the
+// arbitrated and circuit-switched networks.
+func TestValidationPowerHeadline(t *testing.T) {
+	sys := macrochip.NewSystem()
+	pp := sys.StaticLaserWatts(macrochip.PointToPoint)
+	for _, other := range []macrochip.Network{macrochip.TokenRing, macrochip.CircuitSwitched} {
+		if w := sys.StaticLaserWatts(other); w < 10*pp {
+			t.Errorf("%s laser %.1f W not >10× point-to-point %.1f W", other, w, pp)
+		}
+	}
+}
+
+// TestValidationEDPHeadline asserts the conclusion's EDP claim on an
+// application kernel: point-to-point EDP is 10–100× (or more) below the
+// arbitrated and circuit-switched designs.
+func TestValidationEDPHeadline(t *testing.T) {
+	sys := macrochip.NewSystem(macrochip.WithSeed(1))
+	edp := map[macrochip.Network]float64{}
+	for _, n := range macrochip.AllNetworks() {
+		r, err := sys.RunWorkload(n, "swaptions", 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edp[n] = r.EDP
+	}
+	pp := edp[macrochip.PointToPoint]
+	for _, n := range macrochip.AllNetworks() {
+		if n != macrochip.PointToPoint && edp[n] <= pp {
+			t.Errorf("%s EDP %.3g not above point-to-point %.3g", n, edp[n], pp)
+		}
+	}
+	if edp[macrochip.TokenRing] < 10*pp || edp[macrochip.CircuitSwitched] < 100*pp {
+		t.Errorf("EDP gaps too small: token %.3g, circuit %.3g vs ptp %.3g",
+			edp[macrochip.TokenRing], edp[macrochip.CircuitSwitched], pp)
+	}
+}
+
+// TestValidationALTImprovesAllToAll asserts §6.2's ALT result on the
+// all-to-all benchmark (paper: 1.4×).
+func TestValidationALTImprovesAllToAll(t *testing.T) {
+	sys := macrochip.NewSystem(macrochip.WithSeed(1))
+	sp, err := sys.Speedups("all-to-all", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp[macrochip.TwoPhaseALT] <= sp[macrochip.TwoPhase] {
+		t.Fatalf("ALT %.2f not above base two-phase %.2f on all-to-all",
+			sp[macrochip.TwoPhaseALT], sp[macrochip.TwoPhase])
+	}
+}
