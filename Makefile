@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test race vet fmt check figures report
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector; the parallel experiment
+# harness must stay race-clean at every worker count.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# check is the pre-merge gate: vet + formatting + tests + race detector.
+check: vet fmt test race
+
+figures:
+	$(GO) run ./cmd/figures -all
+
+report:
+	$(GO) run ./cmd/report

@@ -11,7 +11,10 @@
 //	figures -all              everything
 //
 // -quick shrinks the simulation windows/quotas for a fast smoke run;
-// -scale and -seed control the benchmark studies.
+// -scale and -seed control the benchmark studies. -j bounds the worker
+// pool that fans the independent simulations across cores (0, the
+// default, uses every core; 1 runs serially — output is identical either
+// way because each point's seed derives purely from the point identity).
 package main
 
 import (
@@ -34,9 +37,11 @@ func main() {
 	quick := flag.Bool("quick", false, "use short simulation windows")
 	scale := flag.Float64("scale", 1.0, "workload instruction-quota scale for figures 7-10")
 	seed := flag.Int64("seed", 1, "random seed")
+	jobs := flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
 	flag.Parse()
 	outDir = *csvDir
+	runner = harness.Runner{Workers: *jobs}
 
 	p := core.DefaultParams()
 	if *all {
@@ -64,6 +69,9 @@ func main() {
 // outDir, when non-empty, receives CSV copies of every generated series.
 var outDir string
 
+// runner carries the -j worker-pool setting into every study.
+var runner harness.Runner
+
 func runFig6(p core.Params, quick bool, seed int64) {
 	cfg := harness.DefaultLoadPointConfig()
 	cfg.Params = p
@@ -72,7 +80,7 @@ func runFig6(p core.Params, quick bool, seed int64) {
 		cfg.Warmup = 500 * sim.Nanosecond
 		cfg.Measure = 1500 * sim.Nanosecond
 	}
-	for _, panel := range harness.Figure6(cfg) {
+	for _, panel := range harness.Figure6With(runner, cfg) {
 		fmt.Println(harness.RenderFigure6(panel))
 		writeCSV("fig6_"+panel.Pattern+".csv", func(w io.Writer) error {
 			return harness.WriteFigure6CSV(w, panel)
@@ -106,7 +114,7 @@ func runStudyFigures(p core.Params, quick bool, scale float64, seed int64, figs 
 	if quick {
 		s = workload.Scale(scale * 0.1)
 	}
-	rows := harness.FullStudy(p, s, seed)
+	rows := harness.FullStudyWith(runner, p, s, seed)
 	writeCSV("study.csv", func(w io.Writer) error { return harness.WriteStudyCSV(w, rows) })
 	for _, f := range figs {
 		switch f {

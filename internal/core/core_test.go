@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -287,5 +288,44 @@ func TestHistogramClampsTinyLatency(t *testing.T) {
 	}
 	if v := h.Percentile(100); v < 1 || v > 2 {
 		t.Fatalf("clamped sample percentile = %v", v)
+	}
+}
+
+func TestStatsThroughputOpenWindowPanics(t *testing.T) {
+	// Regression: an open measurement window used to yield a silent zero,
+	// which made thru < 0.90*offered comparisons report spurious saturation.
+	s := NewStats(0)
+	if s.ThroughputKnown() {
+		t.Fatal("throughput known with MeasureEnd unset")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ThroughputGBs with MeasureEnd unset did not panic")
+		}
+	}()
+	s.ThroughputGBs()
+}
+
+func TestStatsThroughputInvertedWindowPanics(t *testing.T) {
+	s := NewStats(10 * sim.Nanosecond)
+	s.MeasureEnd = 5 * sim.Nanosecond
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ThroughputGBs with MeasureEnd before WarmupStart did not panic")
+		}
+	}()
+	s.ThroughputGBs()
+}
+
+func TestStatsStringOpenWindow(t *testing.T) {
+	// String must stay usable as a debug summary even before the window is
+	// closed (benchmark runs never set MeasureEnd).
+	s := NewStats(0)
+	if got := s.String(); !strings.Contains(got, "thru=n/a") {
+		t.Fatalf("open-window String() = %q, want thru=n/a", got)
+	}
+	s.MeasureEnd = 10 * sim.Nanosecond
+	if got := s.String(); !strings.Contains(got, "GB/s") {
+		t.Fatalf("closed-window String() = %q, want a GB/s figure", got)
 	}
 }

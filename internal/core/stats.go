@@ -132,20 +132,31 @@ func (s *Stats) LatencyStdDev() sim.Time {
 // a log₂-bucketed histogram (≤2× bucket resolution).
 func (s *Stats) LatencyPercentile(p float64) sim.Time { return s.hist.Percentile(p) }
 
+// ThroughputKnown reports whether the sink has a closed measurement window,
+// i.e. whether ThroughputGBs may be called.
+func (s *Stats) ThroughputKnown() bool { return s.MeasureEnd > s.WarmupStart }
+
 // ThroughputGBs returns the accepted throughput (total, all sites) in GB/s:
-// window bytes over the measurement window. It requires MeasureEnd to be
-// set.
+// window bytes over the measurement window. It panics if MeasureEnd was
+// never set (or closes the window before WarmupStart): without a closed
+// window accepted throughput is undefined, and the old quiet zero made
+// downstream comparisons such as LoadPoint.Saturated (thru < 0.90×offered)
+// report spurious saturation.
 func (s *Stats) ThroughputGBs() float64 {
-	window := s.MeasureEnd - s.WarmupStart
-	if window <= 0 {
-		return 0
+	if !s.ThroughputKnown() {
+		panic(fmt.Sprintf("core: ThroughputGBs with open measurement window (WarmupStart=%v MeasureEnd=%v); set Stats.MeasureEnd before reading throughput", s.WarmupStart, s.MeasureEnd))
 	}
+	window := s.MeasureEnd - s.WarmupStart
 	// bytes/ps → GB/s: 1 byte/ps = 1000 GB/s.
 	return float64(s.WindowBytes) / float64(window) * 1000
 }
 
 // String summarizes the sink.
 func (s *Stats) String() string {
-	return fmt.Sprintf("injected=%d delivered=%d measured=%d meanLat=%v maxLat=%v thru=%.1fGB/s",
-		s.Injected, s.Delivered, s.MeasuredPkts, s.MeanLatency(), s.MaxLatency(), s.ThroughputGBs())
+	thru := "n/a"
+	if s.ThroughputKnown() {
+		thru = fmt.Sprintf("%.1fGB/s", s.ThroughputGBs())
+	}
+	return fmt.Sprintf("injected=%d delivered=%d measured=%d meanLat=%v maxLat=%v thru=%s",
+		s.Injected, s.Delivered, s.MeasuredPkts, s.MeanLatency(), s.MaxLatency(), thru)
 }

@@ -81,13 +81,37 @@ func (r StudyRow) RouterFraction() float64 {
 	return r.Cells[networks.LimitedPtP].Energy.RouterFraction()
 }
 
-// RunStudy runs every benchmark over every network kind.
+// RunStudy runs every benchmark over every network kind on the default
+// parallel Runner.
 func RunStudy(benches []cpu.Benchmark, kinds []networks.Kind, p core.Params, seed int64) []StudyRow {
+	return RunStudyWith(Runner{}, benches, kinds, p, seed)
+}
+
+// RunStudyWith is RunStudy on an explicit Runner. Every (benchmark,
+// network) cell is an independent simulation seeded by CellSeed, so the
+// study's rows are identical at every worker count.
+func RunStudyWith(r Runner, benches []cpu.Benchmark, kinds []networks.Kind, p core.Params, seed int64) []StudyRow {
+	type cell struct {
+		b cpu.Benchmark
+		k networks.Kind
+	}
+	jobs := make([]cell, 0, len(benches)*len(kinds))
+	for _, b := range benches {
+		for _, k := range kinds {
+			jobs = append(jobs, cell{b, k})
+		}
+	}
+	results := runIndexed(r, len(jobs), func(i int) BenchResult {
+		j := jobs[i]
+		return RunBenchmark(j.b, j.k, p, CellSeed(seed, j.b.Name, j.k))
+	})
 	rows := make([]StudyRow, 0, len(benches))
+	i := 0
 	for _, b := range benches {
 		row := StudyRow{Benchmark: b.Name, Cells: map[networks.Kind]BenchResult{}}
 		for _, k := range kinds {
-			row.Cells[k] = RunBenchmark(b, k, p, seed)
+			row.Cells[k] = results[i]
+			i++
 		}
 		rows = append(rows, row)
 	}

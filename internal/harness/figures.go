@@ -42,23 +42,52 @@ type Figure6Panel struct {
 }
 
 // Figure6 regenerates the latency-vs-offered-load study (paper figure 6):
-// four traffic patterns × five networks × a load grid. Pass zero values to
-// use DefaultLoadPointConfig settings.
-func Figure6(base LoadPointConfig) []Figure6Panel {
+// four traffic patterns × five networks × a load grid, on the default
+// parallel Runner. Pass zero values to use DefaultLoadPointConfig settings.
+func Figure6(base LoadPointConfig) []Figure6Panel { return Figure6With(Runner{}, base) }
+
+// Figure6With is Figure6 on an explicit Runner. Every (pattern, network,
+// load) point is an independent simulation; the full grid is flattened
+// into one job list so the pool stays busy across panel boundaries, and
+// each point's seed comes from PointSeed, so the rendered tables are
+// byte-identical at every worker count.
+func Figure6With(r Runner, base LoadPointConfig) []Figure6Panel {
 	if base.PacketBytes == 0 {
 		base = DefaultLoadPointConfig()
 	}
-	panels := []Figure6Panel{}
-	for _, pat := range traffic.All(base.Params.Grid) {
-		panel := Figure6Panel{Pattern: pat.Name()}
-		for _, k := range networks.Five() {
-			s := SweepSeries{Network: k}
+	pats := traffic.All(base.Params.Grid)
+	kinds := networks.Five()
+	type job struct {
+		pat  traffic.Pattern
+		kind networks.Kind
+		load float64
+	}
+	jobs := []job{}
+	for _, pat := range pats {
+		for _, k := range kinds {
 			for _, load := range Figure6Loads(pat.Name()) {
-				cfg := base
-				cfg.Network = k
-				cfg.Pattern = pat
-				cfg.Load = load
-				s.Points = append(s.Points, RunLoadPoint(cfg))
+				jobs = append(jobs, job{pat, k, load})
+			}
+		}
+	}
+	points := runIndexed(r, len(jobs), func(i int) LoadPoint {
+		j := jobs[i]
+		cfg := base
+		cfg.Network = j.kind
+		cfg.Pattern = j.pat
+		cfg.Load = j.load
+		cfg.Seed = PointSeed(base.Seed, j.kind, j.pat.Name(), j.load)
+		return RunLoadPoint(cfg)
+	})
+	panels := []Figure6Panel{}
+	i := 0
+	for _, pat := range pats {
+		panel := Figure6Panel{Pattern: pat.Name()}
+		for _, k := range kinds {
+			s := SweepSeries{Network: k}
+			for range Figure6Loads(pat.Name()) {
+				s.Points = append(s.Points, points[i])
+				i++
 			}
 			panel.Series = append(panel.Series, s)
 		}
@@ -72,6 +101,10 @@ func Figure6(base LoadPointConfig) []Figure6Panel {
 func RenderFigure6(panel Figure6Panel) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 6 — %s (64 B packets; latency in ns vs offered load, %% of 320 B/ns per site)\n", panel.Pattern)
+	if len(panel.Series) == 0 {
+		b.WriteString("(no series)\n")
+		return b.String()
+	}
 	fmt.Fprintf(&b, "%8s", "load%")
 	for _, s := range panel.Series {
 		fmt.Fprintf(&b, " %18s", s.Network)
@@ -93,9 +126,15 @@ func RenderFigure6(panel Figure6Panel) string {
 }
 
 // FullStudy runs the eleven workloads over all six network designs — the
-// shared substrate of figures 7, 8, 9 and 10.
+// shared substrate of figures 7, 8, 9 and 10 — on the default parallel
+// Runner.
 func FullStudy(p core.Params, scale workload.Scale, seed int64) []StudyRow {
-	return RunStudy(workload.All(p.Grid, scale), networks.Six(), p, seed)
+	return FullStudyWith(Runner{}, p, scale, seed)
+}
+
+// FullStudyWith is FullStudy on an explicit Runner.
+func FullStudyWith(r Runner, p core.Params, scale workload.Scale, seed int64) []StudyRow {
+	return RunStudyWith(r, workload.All(p.Grid, scale), networks.Six(), p, seed)
 }
 
 // RenderFigure7 renders the speedup chart (normalized to circuit-switched).

@@ -74,7 +74,6 @@ func RunLoadPoint(cfg LoadPointConfig) LoadPoint {
 	// stable statistics, then cut off: a saturated network would never
 	// drain completely.
 	eng.RunUntil(end + cfg.Measure)
-	eng.Stop()
 
 	offered := cfg.Load * cfg.Params.SiteBandwidthGBs * float64(cfg.Params.Grid.Sites())
 	thru := stats.ThroughputGBs()
@@ -92,7 +91,9 @@ func RunLoadPoint(cfg LoadPointConfig) LoadPoint {
 
 // SaturationSearch finds the highest offered load (as a fraction of site
 // bandwidth, within tol) that the network still accepts, by bisection on
-// the Saturated flag. It returns that load fraction.
+// the Saturated flag. It returns that load fraction. The bisection is
+// inherently sequential — each probe depends on the last — but distinct
+// searches are independent; see SaturationSweep.
 func SaturationSearch(cfg LoadPointConfig, lo, hi, tol float64) float64 {
 	for hi-lo > tol {
 		mid := (lo + hi) / 2
@@ -104,4 +105,14 @@ func SaturationSearch(cfg LoadPointConfig, lo, hi, tol float64) float64 {
 		}
 	}
 	return lo
+}
+
+// SaturationSweep runs one SaturationSearch per config concurrently on the
+// Runner and returns the saturation loads slotted in config order. Each
+// bisection stays sequential internally; the sweep parallelizes across the
+// independent searches (e.g. the five networks of a §6.1 comparison).
+func SaturationSweep(r Runner, cfgs []LoadPointConfig, lo, hi, tol float64) []float64 {
+	return runIndexed(r, len(cfgs), func(i int) float64 {
+		return SaturationSearch(cfgs[i], lo, hi, tol)
+	})
 }

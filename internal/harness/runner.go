@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"macrochip/internal/networks"
+	"macrochip/internal/sim"
+)
+
+// Runner fans independent experiment points out across a bounded worker
+// pool. The paper's evaluation is hundreds of independent single-threaded
+// simulations (figure 6 alone is 4 patterns × 5 networks × a load grid),
+// so the harness parallelizes across points, never inside one.
+//
+// The zero value uses runtime.GOMAXPROCS(0) workers; Workers=1 is the
+// serial debugging fallback (exposed as -j 1 by cmd/figures and
+// cmd/report). Results are always slotted by point index, not completion
+// order, and every point's seed is a pure function of the study's base
+// seed and the point's identity (see PointSeed/CellSeed), so output is
+// byte-identical at every worker count.
+type Runner struct {
+	// Workers bounds the number of concurrently running simulations.
+	// Zero means runtime.GOMAXPROCS(0); one runs everything inline.
+	Workers int
+}
+
+// Serial is the single-worker Runner, for debugging and for callers that
+// need strict inline execution.
+var Serial = Runner{Workers: 1}
+
+func (r Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runIndexed evaluates fn(0) … fn(n-1) on the pool and returns the results
+// slotted by index. Workers pull the next index from a shared counter, so
+// an expensive point never strands idle cores behind a fixed pre-split.
+func runIndexed[T any](r Runner, n int, fn func(int) T) []T {
+	out := make([]T, n)
+	w := r.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// PointSeed derives the seed for one (network, pattern, load) load-sweep
+// simulation from the study's base seed. The derivation is pure — a
+// function of the arguments alone — so a point's random streams are
+// identical whether the study runs serially, in parallel, reordered, or
+// as a lone RunLoadPoint reproduction of a single point.
+func PointSeed(base int64, k networks.Kind, pattern string, load float64) int64 {
+	return sim.DeriveSeed(base,
+		sim.StringLabel(string(k)), sim.StringLabel(pattern), math.Float64bits(load))
+}
+
+// CellSeed derives the seed for one (benchmark, network) cell of the
+// figure-7/8/9/10 studies, with the same purity guarantee as PointSeed.
+func CellSeed(base int64, bench string, k networks.Kind) int64 {
+	return sim.DeriveSeed(base, sim.StringLabel(bench), sim.StringLabel(string(k)))
+}

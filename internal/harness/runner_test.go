@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"macrochip/internal/core"
+	"macrochip/internal/networks"
+	"macrochip/internal/sim"
+	"macrochip/internal/traffic"
+	"macrochip/internal/workload"
+)
+
+func TestRunIndexedSlotsByIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		r := Runner{Workers: workers}
+		out := runIndexed(r, 37, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+		if empty := runIndexed(r, 0, func(i int) int { return i }); len(empty) != 0 {
+			t.Fatalf("workers=%d: n=0 returned %v", workers, empty)
+		}
+	}
+}
+
+func TestPointSeedPure(t *testing.T) {
+	a := PointSeed(1, networks.PointToPoint, "uniform", 0.2)
+	b := PointSeed(1, networks.PointToPoint, "uniform", 0.2)
+	if a != b {
+		t.Fatalf("PointSeed not pure: %d vs %d", a, b)
+	}
+	distinct := map[int64]string{a: "base"}
+	for name, s := range map[string]int64{
+		"other base":    PointSeed(2, networks.PointToPoint, "uniform", 0.2),
+		"other network": PointSeed(1, networks.TokenRing, "uniform", 0.2),
+		"other pattern": PointSeed(1, networks.PointToPoint, "transpose", 0.2),
+		"other load":    PointSeed(1, networks.PointToPoint, "uniform", 0.3),
+	} {
+		if prev, dup := distinct[s]; dup {
+			t.Fatalf("PointSeed collision between %s and %s", prev, name)
+		}
+		distinct[s] = name
+	}
+	if CellSeed(1, "radix", networks.TokenRing) == CellSeed(1, "radix", networks.TwoPhase) {
+		t.Fatal("CellSeed ignores the network kind")
+	}
+}
+
+// fastCfg uses very short windows: determinism comparisons need identical
+// bytes, not converged statistics.
+func fastCfg() LoadPointConfig {
+	cfg := DefaultLoadPointConfig()
+	cfg.Warmup = 100 * sim.Nanosecond
+	cfg.Measure = 200 * sim.Nanosecond
+	return cfg
+}
+
+func TestFigure6ParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure-6 grid in -short mode")
+	}
+	cfg := fastCfg()
+	serial := Figure6With(Runner{Workers: 1}, cfg)
+	parallel := Figure6With(Runner{Workers: 8}, cfg)
+	if len(serial) != len(parallel) {
+		t.Fatalf("panel counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := RenderFigure6(serial[i]), RenderFigure6(parallel[i])
+		if s != p {
+			t.Errorf("panel %q differs between -j 1 and -j 8:\n--- serial ---\n%s--- parallel ---\n%s",
+				serial[i].Pattern, s, p)
+		}
+	}
+}
+
+func TestRunLoadPointSameSeedIdenticalStats(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Network = networks.TwoPhase
+	cfg.Pattern = traffic.Uniform{Grid: cfg.Params.Grid}
+	cfg.Load = 0.05
+	cfg.Seed = 42
+	a, b := RunLoadPoint(cfg), RunLoadPoint(cfg)
+	if a != b {
+		t.Fatalf("same-seed runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunStudyParallelMatchesSerial(t *testing.T) {
+	p := core.DefaultParams()
+	benches := workload.Synthetics(p.Grid, 0.02)[:2]
+	serial := RunStudyWith(Runner{Workers: 1}, benches, networks.Six(), p, 1)
+	parallel := RunStudyWith(Runner{Workers: 8}, benches, networks.Six(), p, 1)
+	for _, render := range []func([]StudyRow) string{
+		RenderFigure7, RenderFigure8, RenderFigure9, RenderFigure10,
+	} {
+		if s, par := render(serial), render(parallel); s != par {
+			t.Errorf("study table differs between -j 1 and -j 8:\n--- serial ---\n%s--- parallel ---\n%s", s, par)
+		}
+	}
+}
+
+func TestScalingStudyParallelMatchesSerial(t *testing.T) {
+	serial := ScalingStudyWith(Runner{Workers: 1}, []int{4, 8, 16})
+	parallel := ScalingStudyWith(Runner{Workers: 4}, []int{4, 8, 16})
+	if len(serial) != len(parallel) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].N != parallel[i].N || serial[i].PeakTBs != parallel[i].PeakTBs {
+			t.Fatalf("row %d differs: %+v vs %+v", i, serial[i], parallel[i])
+		}
+		for _, k := range networks.Six() {
+			if serial[i].Networks[k] != parallel[i].Networks[k] {
+				t.Fatalf("row %d %s differs: %+v vs %+v", i, k,
+					serial[i].Networks[k], parallel[i].Networks[k])
+			}
+		}
+	}
+}
+
+func TestSaturationSweepMatchesSearch(t *testing.T) {
+	base := fastCfg()
+	cfgs := []LoadPointConfig{}
+	for _, k := range []networks.Kind{networks.PointToPoint, networks.LimitedPtP} {
+		c := base
+		c.Network = k
+		c.Pattern = traffic.Transpose{Grid: base.Params.Grid}
+		cfgs = append(cfgs, c)
+	}
+	got := SaturationSweep(Runner{Workers: 2}, cfgs, 0.002, 0.06, 0.01)
+	for i, c := range cfgs {
+		if want := SaturationSearch(c, 0.002, 0.06, 0.01); got[i] != want {
+			t.Errorf("sweep[%d] = %v, search = %v", i, got[i], want)
+		}
+	}
+}
+
+func TestRenderFigure6EmptyPanel(t *testing.T) {
+	out := RenderFigure6(Figure6Panel{Pattern: "uniform"})
+	if !strings.Contains(out, "uniform") || !strings.Contains(out, "no series") {
+		t.Fatalf("empty-panel render:\n%s", out)
+	}
+}

@@ -45,34 +45,39 @@ func ScaledParams(n int) core.Params {
 }
 
 // ScalingStudy quantifies §6.4's scalability argument across macrochip
-// sizes: how waveguide counts, switch counts, and laser power grow for each
-// architecture as the grid scales.
-func ScalingStudy(ns []int) []ScalingRow {
-	rows := []ScalingRow{}
-	for _, n := range ns {
-		p := ScaledParams(n)
-		row := ScalingRow{
-			N:        n,
-			Sites:    n * n,
-			PeakTBs:  p.PeakBandwidthGBs() / 1000,
-			Networks: map[networks.Kind]ScalingCell{},
-		}
-		for _, k := range networks.Six() {
-			c, err := complexity.ForNetwork(k, p)
-			if err != nil {
-				panic(err)
-			}
-			loss := scaledLoss(k, p)
-			row.Networks[k] = ScalingCell{
-				Waveguides:  c.Waveguides,
-				Switches:    c.Switches,
-				LaserWatts:  photonics.LaserPowerWatts(p.Comp, c.Wavelengths, loss),
-				ExtraLossDB: float64(loss.ExtraDB),
-			}
-		}
-		rows = append(rows, row)
+// sizes — how waveguide counts, switch counts, and laser power grow for
+// each architecture as the grid scales — on the default parallel Runner.
+func ScalingStudy(ns []int) []ScalingRow { return ScalingStudyWith(Runner{}, ns) }
+
+// ScalingStudyWith is ScalingStudy on an explicit Runner: each grid size
+// is an independent analysis, so the sizes fan out across the pool.
+func ScalingStudyWith(r Runner, ns []int) []ScalingRow {
+	return runIndexed(r, len(ns), func(i int) ScalingRow { return scalingRow(ns[i]) })
+}
+
+// scalingRow computes the complexity/power analysis for one grid size.
+func scalingRow(n int) ScalingRow {
+	p := ScaledParams(n)
+	row := ScalingRow{
+		N:        n,
+		Sites:    n * n,
+		PeakTBs:  p.PeakBandwidthGBs() / 1000,
+		Networks: map[networks.Kind]ScalingCell{},
 	}
-	return rows
+	for _, k := range networks.Six() {
+		c, err := complexity.ForNetwork(k, p)
+		if err != nil {
+			panic(err)
+		}
+		loss := scaledLoss(k, p)
+		row.Networks[k] = ScalingCell{
+			Waveguides:  c.Waveguides,
+			Switches:    c.Switches,
+			LaserWatts:  photonics.LaserPowerWatts(p.Comp, c.Wavelengths, loss),
+			ExtraLossDB: float64(loss.ExtraDB),
+		}
+	}
+	return row
 }
 
 // scaledLoss recomputes each network's extra loss at the given scale: the

@@ -7,23 +7,68 @@ import "math/rand"
 // owns its own stream, derived from the run seed and a component label, so
 // adding randomness to one component never perturbs another.
 type RNG struct {
-	r *rand.Rand
+	seed int64
+	r    *rand.Rand
 }
 
 // NewRNG returns a stream seeded with seed.
 func NewRNG(seed int64) *RNG {
-	return &RNG{r: rand.New(rand.NewSource(seed))}
+	return &RNG{seed: seed, r: rand.New(rand.NewSource(seed))}
 }
 
-// Derive returns a new independent stream whose seed combines the parent
-// seed deterministically with the given label. SplitMix64-style mixing keeps
-// the derived seeds well spread even for small labels.
+// Seed returns the seed the stream was created with.
+func (g *RNG) Seed() int64 { return g.seed }
+
+// Derive returns a new independent stream whose seed mixes the parent's
+// *seed* — not the parent's stream state — with the given label. Derivation
+// is pure: it draws nothing from the parent, so the derived seed depends
+// only on (parent seed, label), never on how many siblings were derived
+// before or in what order. That is what actually upholds the package
+// guarantee above, and it makes seed schedules stable under concurrent or
+// reordered execution.
 func (g *RNG) Derive(label int64) *RNG {
-	z := uint64(g.r.Int63()) ^ (uint64(label)+0x9e3779b97f4a7c15)*0xbf58476d1ce4e5b9
+	return NewRNG(DeriveSeed(g.seed, uint64(label)))
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective scramble that spreads
+// nearby inputs across the full 64-bit range.
+func splitmix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
 	z ^= z >> 27
 	z *= 0x94d049bb133111eb
 	z ^= z >> 31
-	return NewRNG(int64(z & 0x7fffffffffffffff))
+	return z
+}
+
+// DeriveSeed folds any number of labels into a base seed and returns a
+// non-negative seed for NewRNG. It is the pure stream-splitting primitive
+// behind RNG.Derive and the experiment harness's per-run seed schedule:
+// the result is a function of its arguments alone, so two call sites that
+// agree on (base, labels...) agree on the seed regardless of execution
+// order, interleaving, or how many other streams exist.
+func DeriveSeed(base int64, labels ...uint64) int64 {
+	// The fold is deliberately asymmetric (state advances by the golden
+	// gamma, labels enter pre-scaled by a different odd constant): applying
+	// one shared scramble to both sides lets z ^ f(label) cancel to zero
+	// whenever base and label hash alike.
+	z := splitmix64(uint64(base) ^ 0x9e3779b97f4a7c15)
+	for _, l := range labels {
+		z = splitmix64(z + 0x9e3779b97f4a7c15 + l*0xbf58476d1ce4e5b9)
+	}
+	return int64(z & 0x7fffffffffffffff)
+}
+
+// StringLabel hashes a string into a DeriveSeed label (FNV-1a, 64-bit), so
+// seed schedules can be keyed by names (network kind, traffic pattern,
+// benchmark) rather than positional indices.
+func StringLabel(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // Float64 returns a uniform value in [0, 1).

@@ -20,11 +20,17 @@ func TestValidationUniformSaturationOrdering(t *testing.T) {
 	cfg.Warmup = 400 * sim.Nanosecond
 	cfg.Measure = 1200 * sim.Nanosecond
 	cfg.Pattern = traffic.Uniform{Grid: cfg.Params.Grid}
-	sat := map[networks.Kind]float64{}
+	cfgs := make([]harness.LoadPointConfig, 0, len(networks.Five()))
 	for _, k := range networks.Five() {
 		c := cfg
 		c.Network = k
-		sat[k] = harness.SaturationSearch(c, 0.005, 1.0, 0.01)
+		cfgs = append(cfgs, c)
+	}
+	// The five bisections are independent; sweep them across the pool.
+	loads := harness.SaturationSweep(harness.Runner{}, cfgs, 0.005, 1.0, 0.01)
+	sat := map[networks.Kind]float64{}
+	for i, k := range networks.Five() {
+		sat[k] = loads[i]
 	}
 	order := []networks.Kind{
 		networks.CircuitSwitched, networks.TwoPhase, networks.TokenRing,
