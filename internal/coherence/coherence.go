@@ -87,6 +87,18 @@ type Engine struct {
 	Completed  uint64
 	LatencySum sim.Time
 	MaxLatency sim.Time
+
+	// Retries counts request retransmissions after delivery timeouts;
+	// Aborted counts operations abandoned after the retry budget ran out.
+	// Both stay zero when Params.CoherenceTimeoutCycles is zero (the
+	// perfect-network baseline).
+	Retries uint64
+	Aborted uint64
+
+	// retryRNG jitters retransmission backoff so synchronized losses do
+	// not resynchronize their retries; nil means no jitter (still fully
+	// deterministic).
+	retryRNG *sim.RNG
 }
 
 // NewEngine returns a coherence engine bound to the network.
@@ -103,6 +115,13 @@ func NewEngine(eng *sim.Engine, p core.Params, net core.Network) *Engine {
 // SetMemory attaches an off-package memory backend. Home sites consult it
 // whenever they must supply data that no cache owns.
 func (e *Engine) SetMemory(m MemoryBackend) { e.mem = m }
+
+// SetRetrySeed installs the seeded jitter stream for retransmission
+// backoff. The stream derives purely from (seed, label), so runs stay
+// reproducible at any harness worker count.
+func (e *Engine) SetRetrySeed(seed int64) {
+	e.retryRNG = sim.NewRNG(sim.DeriveSeed(seed, sim.StringLabel("coherence-retry")))
+}
 
 // Issue starts an operation, queueing for an MSHR if none is free.
 func (e *Engine) Issue(op *Op) {
@@ -132,50 +151,129 @@ func (e *Engine) MeanLatency() sim.Time {
 	return e.LatencySum / sim.Time(e.Completed)
 }
 
+// tracker follows one operation's outstanding responses across (possibly
+// retransmitted) attempts. Responses are tracked by identity — the data
+// reply plus, for invalidating writes, one ack per sharer — so duplicate
+// deliveries from overlapping attempts are idempotent and can never
+// complete an operation early.
+type tracker struct {
+	op      *Op
+	issued  sim.Time
+	attempt int
+	done    bool
+	data    bool
+	acks    []bool // per-sharer, only consulted for invalidating writes
+}
+
+func (t *tracker) complete() bool {
+	if !t.data {
+		return false
+	}
+	if t.op.Write {
+		for _, a := range t.acks {
+			if !a {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 func (e *Engine) start(op *Op) {
-	issued := e.eng.Now()
 	if op.OnIssued != nil {
 		op.OnIssued()
 	}
-	// Completion bookkeeping: the data reply plus (for invalidating ops)
-	// one ack per sharer.
-	needed := 1
-	if op.Write && len(op.Sharers) > 0 {
-		needed += len(op.Sharers)
-	}
-	arrived := 0
-	done := func(_ *core.Packet, at sim.Time) {
-		arrived++
-		if arrived < needed {
-			return
-		}
-		lat := at - issued
-		e.Completed++
-		e.LatencySum += lat
-		if lat > e.MaxLatency {
-			e.MaxLatency = lat
-		}
-		e.releaseMSHR(int(op.Requester))
-		if op.OnComplete != nil {
-			op.OnComplete(lat)
-		}
-	}
+	t := &tracker{op: op, issued: e.eng.Now(), acks: make([]bool, len(op.Sharers))}
+	e.sendRequest(op, t)
+	e.armTimeout(op, t)
+}
 
-	// Step 1: request to home.
+// sendRequest launches (or relaunches) the request→lookup→response chain.
+func (e *Engine) sendRequest(op *Op, t *tracker) {
 	e.net.Inject(&core.Packet{
 		Src: op.Requester, Dst: op.Home,
 		Bytes: e.p.CtrlMsgBytes, Class: core.ClassRequest,
 		OnDeliver: func(_ *core.Packet, _ sim.Time) {
-			// Step 2: directory lookup at the home.
+			// Directory lookup at the home.
 			e.eng.Schedule(e.p.Cycles(e.p.DirectoryLookupCycles), func() {
-				e.homeAction(op, done)
+				e.homeAction(op, t)
 			})
 		},
 	})
 }
 
+// armTimeout schedules the delivery timeout for the tracker's current
+// attempt: exponential backoff with optional seeded jitter, bounded by
+// CoherenceMaxRetries, after which the operation aborts (the MSHR is
+// released and OnComplete still fires, so callers never hang). A zero
+// CoherenceTimeoutCycles disables the machinery entirely.
+func (e *Engine) armTimeout(op *Op, t *tracker) {
+	if e.p.CoherenceTimeoutCycles <= 0 {
+		return
+	}
+	e.eng.Schedule(e.backoff(t.attempt), func() {
+		if t.done {
+			return
+		}
+		st := e.net.Stats()
+		if t.attempt >= e.p.CoherenceMaxRetries {
+			t.done = true
+			e.Aborted++
+			st.AddAbort()
+			e.releaseMSHR(int(op.Requester))
+			if op.OnComplete != nil {
+				op.OnComplete(e.eng.Now() - t.issued)
+			}
+			return
+		}
+		t.attempt++
+		e.Retries++
+		st.AddRetry()
+		e.sendRequest(op, t)
+		e.armTimeout(op, t)
+	})
+}
+
+// backoff returns the timeout for the given attempt: base × 2^attempt,
+// plus up to one base of seeded jitter when a retry stream is installed.
+func (e *Engine) backoff(attempt int) sim.Duration {
+	base := e.p.Cycles(e.p.CoherenceTimeoutCycles)
+	if attempt > 20 {
+		attempt = 20 // cap the shift; far beyond any sane retry budget
+	}
+	d := base << attempt
+	if e.retryRNG != nil {
+		d += sim.Time(e.retryRNG.Float64() * float64(base))
+	}
+	return d
+}
+
+// finish records a completed operation the moment its last response lands.
+func (e *Engine) finish(t *tracker, at sim.Time) {
+	t.done = true
+	lat := at - t.issued
+	e.Completed++
+	e.LatencySum += lat
+	if lat > e.MaxLatency {
+		e.MaxLatency = lat
+	}
+	e.releaseMSHR(int(t.op.Requester))
+	if t.op.OnComplete != nil {
+		t.op.OnComplete(lat)
+	}
+}
+
 // homeAction emits the directory's response messages.
-func (e *Engine) homeAction(op *Op, done func(*core.Packet, sim.Time)) {
+func (e *Engine) homeAction(op *Op, t *tracker) {
+	dataDone := func(_ *core.Packet, at sim.Time) {
+		if t.done || t.data {
+			return
+		}
+		t.data = true
+		if t.complete() {
+			e.finish(t, at)
+		}
+	}
 	switch {
 	case len(op.Sharers) == 0:
 		// Unshared: the home supplies data — from its on-package memory,
@@ -183,7 +281,7 @@ func (e *Engine) homeAction(op *Op, done func(*core.Packet, sim.Time)) {
 		send := func() {
 			e.net.Inject(&core.Packet{
 				Src: op.Home, Dst: op.Requester,
-				Bytes: e.p.DataMsgBytes, Class: core.ClassData, OnDeliver: done,
+				Bytes: e.p.DataMsgBytes, Class: core.ClassData, OnDeliver: dataDone,
 			})
 		}
 		if e.mem != nil {
@@ -200,7 +298,7 @@ func (e *Engine) homeAction(op *Op, done func(*core.Packet, sim.Time)) {
 			OnDeliver: func(_ *core.Packet, _ sim.Time) {
 				e.net.Inject(&core.Packet{
 					Src: owner, Dst: op.Requester,
-					Bytes: e.p.DataMsgBytes, Class: core.ClassData, OnDeliver: done,
+					Bytes: e.p.DataMsgBytes, Class: core.ClassData, OnDeliver: dataDone,
 				})
 			},
 		})
@@ -209,17 +307,26 @@ func (e *Engine) homeAction(op *Op, done func(*core.Packet, sim.Time)) {
 		// out to every sharer, each acknowledged to the requester.
 		e.net.Inject(&core.Packet{
 			Src: op.Home, Dst: op.Requester,
-			Bytes: e.p.DataMsgBytes, Class: core.ClassData, OnDeliver: done,
+			Bytes: e.p.DataMsgBytes, Class: core.ClassData, OnDeliver: dataDone,
 		})
-		for _, sh := range op.Sharers {
-			sh := sh
+		for i, sh := range op.Sharers {
+			i, sh := i, sh
+			ackDone := func(_ *core.Packet, at sim.Time) {
+				if t.done || t.acks[i] {
+					return
+				}
+				t.acks[i] = true
+				if t.complete() {
+					e.finish(t, at)
+				}
+			}
 			e.net.Inject(&core.Packet{
 				Src: op.Home, Dst: sh,
 				Bytes: e.p.CtrlMsgBytes, Class: core.ClassInvalidate,
 				OnDeliver: func(_ *core.Packet, _ sim.Time) {
 					e.net.Inject(&core.Packet{
 						Src: sh, Dst: op.Requester,
-						Bytes: e.p.CtrlMsgBytes, Class: core.ClassAck, OnDeliver: done,
+						Bytes: e.p.CtrlMsgBytes, Class: core.ClassAck, OnDeliver: ackDone,
 					})
 				},
 			})

@@ -16,6 +16,13 @@ type Channel struct {
 	// busyPS accumulates occupied transmitter time for utilization
 	// reporting.
 	busyPS sim.Time
+	// derate multiplies the per-byte serialization time (≥1; 1 is nominal).
+	// The fault subsystem uses it to model thermally detuned modulator
+	// rings whose usable bandwidth drops mid-run.
+	derate float64
+	// failed marks the channel dark (dead laser source): nothing can be
+	// transmitted until Repair.
+	failed bool
 }
 
 // NewChannel returns a channel of the given bandwidth in gigabytes per
@@ -25,12 +32,39 @@ func NewChannel(gbPerSec float64) *Channel {
 		panic(fmt.Sprintf("core: channel bandwidth %v GB/s", gbPerSec))
 	}
 	// 1 GB/s = 1 byte/ns = 1e-3 byte/ps.
-	return &Channel{psPerByte: 1e3 / gbPerSec}
+	return &Channel{psPerByte: 1e3 / gbPerSec, derate: 1}
 }
 
-// SerializationTime returns the time to clock `bytes` onto the channel.
+// Derate scales serialization mid-run: a factor f ≥ 1 multiplies the
+// per-byte time for every reservation made after the call (a detuned ring
+// modulates fewer usable bits per second). Derate(1) restores the nominal
+// rate. Reservations already booked are unaffected.
+func (c *Channel) Derate(f float64) {
+	if f < 1 {
+		panic(fmt.Sprintf("core: channel derate factor %v < 1", f))
+	}
+	c.derate = f
+}
+
+// DerateFactor reports the active serialization multiplier (1 = nominal).
+func (c *Channel) DerateFactor() float64 { return c.derate }
+
+// Fail marks the channel dark — its laser source is dead — until Repair.
+// The channel does not police reservations itself (models decide whether
+// to drop or queue); Failed is the query hook.
+func (c *Channel) Fail() { c.failed = true }
+
+// Repair clears a Fail. It does not reset derating: failure and detuning
+// are independent fault axes with independent repairs.
+func (c *Channel) Repair() { c.failed = false }
+
+// Failed reports whether the channel is currently dark.
+func (c *Channel) Failed() bool { return c.failed }
+
+// SerializationTime returns the time to clock `bytes` onto the channel at
+// the current (possibly derated) rate.
 func (c *Channel) SerializationTime(bytes int) sim.Time {
-	t := sim.Time(float64(bytes)*c.psPerByte + 0.5)
+	t := sim.Time(float64(bytes)*c.psPerByte*c.derate + 0.5)
 	if t < 1 {
 		t = 1
 	}

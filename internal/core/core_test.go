@@ -119,6 +119,74 @@ func TestChannelInvariantNoOverlap(t *testing.T) {
 	}
 }
 
+func TestChannelDerate(t *testing.T) {
+	// A derated channel stretches serialization by the factor; repair does
+	// not touch derating (they are independent fault axes).
+	ch := NewChannel(5)
+	base := ch.SerializationTime(64)
+	ch.Derate(4)
+	if got := ch.SerializationTime(64); got != 4*base {
+		t.Fatalf("derated 64B = %v, want %v", got, 4*base)
+	}
+	if ch.DerateFactor() != 4 {
+		t.Fatalf("DerateFactor = %v", ch.DerateFactor())
+	}
+	ch.Repair()
+	if got := ch.SerializationTime(64); got != 4*base {
+		t.Fatalf("Repair reset derating: %v", got)
+	}
+	ch.Derate(1)
+	if got := ch.SerializationTime(64); got != base {
+		t.Fatalf("restored 64B = %v, want %v", got, base)
+	}
+}
+
+func TestChannelDerateBelowOnePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Derate(0.5) did not panic — derating must never speed a channel up")
+		}
+	}()
+	NewChannel(5).Derate(0.5)
+}
+
+func TestChannelFailRepair(t *testing.T) {
+	ch := NewChannel(5)
+	if ch.Failed() {
+		t.Fatal("fresh channel reports failed")
+	}
+	ch.Fail()
+	if !ch.Failed() {
+		t.Fatal("Fail() not visible")
+	}
+	ch.Repair()
+	if ch.Failed() {
+		t.Fatal("Repair() did not clear the failure")
+	}
+}
+
+func TestStatsDropRetryAbortCounters(t *testing.T) {
+	s := NewStats(0)
+	s.AddDrop()
+	s.AddRetry()
+	s.AddRetry()
+	s.AddAbort()
+	if s.Dropped != 1 || s.Retries != 2 || s.Aborts != 1 {
+		t.Fatalf("counters = %d/%d/%d, want 1/2/1", s.Dropped, s.Retries, s.Aborts)
+	}
+}
+
+func TestStatsAvailability(t *testing.T) {
+	s := NewStats(0)
+	if got := s.Availability(); got != 1 {
+		t.Fatalf("empty availability = %v, want 1", got)
+	}
+	s.Injected, s.Delivered = 4, 3
+	if got := s.Availability(); got != 0.75 {
+		t.Fatalf("availability = %v, want 0.75", got)
+	}
+}
+
 func TestChannelZeroBandwidthPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

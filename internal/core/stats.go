@@ -52,6 +52,17 @@ type Stats struct {
 	RouterBytes           uint64
 	ArbMessages           uint64
 
+	// Fault/recovery counters (whole run, like the energy counters).
+	//
+	// Dropped counts packets lost to injected faults (stamped as injected,
+	// never delivered). Retries counts retransmission attempts by recovery
+	// layers (coherence operation re-requests, open-loop packet resends).
+	// Aborts counts operations or packets abandoned after exhausting their
+	// retry budget.
+	Dropped uint64
+	Retries uint64
+	Aborts  uint64
+
 	// PerClass delivery counts.
 	PerClass [numClasses]uint64
 }
@@ -102,6 +113,26 @@ func (s *Stats) AddRouterBytes(bytes int) { s.RouterBytes += uint64(bytes) }
 
 // AddArbMessage counts one arbitration/control message hop.
 func (s *Stats) AddArbMessage() { s.ArbMessages++ }
+
+// AddDrop counts one packet lost to an injected fault.
+func (s *Stats) AddDrop() { s.Dropped++ }
+
+// AddRetry counts one retransmission attempt by a recovery layer.
+func (s *Stats) AddRetry() { s.Retries++ }
+
+// AddAbort counts one operation or packet abandoned after retry exhaustion.
+func (s *Stats) AddAbort() { s.Aborts++ }
+
+// Availability is the fraction of injection attempts that were delivered —
+// the resilience study's per-run availability metric. Dropped and still-in-
+// flight packets count against it; retransmissions count as fresh attempts.
+// A run with no injections reports 1 (vacuously available).
+func (s *Stats) Availability() float64 {
+	if s.Injected == 0 {
+		return 1
+	}
+	return float64(s.Delivered) / float64(s.Injected)
+}
 
 // MeanLatency returns the average measured latency.
 func (s *Stats) MeanLatency() sim.Time {

@@ -17,7 +17,6 @@ import (
 // pattern,network,load_pct,mean_ns,p95_ns,max_ns,accepted_gbs,offered_gbs,saturated.
 func WriteFigure6CSV(w io.Writer, panel Figure6Panel) error {
 	cw := csv.NewWriter(w)
-	defer cw.Flush()
 	if err := cw.Write([]string{"pattern", "network", "load_pct", "mean_ns", "p95_ns", "max_ns", "accepted_gbs", "offered_gbs", "saturated"}); err != nil {
 		return err
 	}
@@ -47,7 +46,6 @@ func WriteFigure6CSV(w io.Writer, panel Figure6Panel) error {
 // benchmark,network,runtime_ns,speedup_vs_cs,lat_per_op_ns,router_frac,norm_edp.
 func WriteStudyCSV(w io.Writer, rows []StudyRow) error {
 	cw := csv.NewWriter(w)
-	defer cw.Flush()
 	if err := cw.Write([]string{"benchmark", "network", "runtime_ns", "speedup_vs_cs", "lat_per_op_ns", "router_frac", "norm_edp"}); err != nil {
 		return err
 	}
@@ -79,7 +77,6 @@ func WriteStudyCSV(w io.Writer, rows []StudyRow) error {
 // n,sites,peak_tbs,network,waveguides,switches,loss_db,laser_w.
 func WriteScalingCSV(w io.Writer, rows []ScalingRow) error {
 	cw := csv.NewWriter(w)
-	defer cw.Flush()
 	if err := cw.Write([]string{"n", "sites", "peak_tbs", "network", "waveguides", "switches", "loss_db", "laser_w"}); err != nil {
 		return err
 	}
@@ -94,6 +91,34 @@ func WriteScalingCSV(w io.Writer, rows []ScalingRow) error {
 			if err := cw.Write(rec); err != nil {
 				return err
 			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteResilienceCSV emits the resilience sweep as
+// network,class,rate_site_ms,faults,accepted_gbs,availability,mean_ns,dropped,retries,aborts.
+func WriteResilienceCSV(w io.Writer, points []ResiliencePoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"network", "class", "rate_site_ms", "faults", "accepted_gbs", "availability", "mean_ns", "dropped", "retries", "aborts"}); err != nil {
+		return err
+	}
+	for _, pt := range points {
+		rec := []string{
+			string(pt.Network),
+			pt.Class.String(),
+			f(pt.Rate),
+			strconv.Itoa(pt.Faults),
+			f(pt.ThroughputGBs),
+			f(pt.Availability),
+			f(pt.MeanLatency.Nanoseconds()),
+			strconv.FormatUint(pt.Dropped, 10),
+			strconv.FormatUint(pt.Retries, 10),
+			strconv.FormatUint(pt.Aborts, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
 		}
 	}
 	cw.Flush()

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"macrochip/internal/core"
+	"macrochip/internal/fault"
 	"macrochip/internal/geometry"
 	"macrochip/internal/networks"
 	"macrochip/internal/sim"
@@ -166,6 +167,50 @@ func TestConformanceFIFOPerFlow(t *testing.T) {
 			if order[i] < order[i-1] {
 				t.Fatalf("flow reordered: %v", order)
 			}
+		}
+	})
+}
+
+// TestConformanceFaultTransparency: wrapping any network in a fault
+// decorator with zero active faults must be invisible — every packet is
+// still delivered exactly once with bit-identical latency statistics.
+func TestConformanceFaultTransparency(t *testing.T) {
+	forEachKind(t, func(t *testing.T, kind networks.Kind) {
+		run := func(wrap bool) *core.Stats {
+			eng := sim.NewEngine()
+			p := core.DefaultParams()
+			st := core.NewStats(0)
+			var net core.Network = networks.MustNew(kind, eng, p, st)
+			if wrap {
+				net = fault.Wrap(eng, p, net, 99)
+			}
+			gen := &traffic.OpenLoop{
+				Eng: eng, Params: p, Net: net,
+				Pattern: traffic.Uniform{Grid: p.Grid},
+				Load:    0.01, PacketBytes: 64,
+				Until: 2 * sim.Microsecond, Seed: 17,
+			}
+			gen.Start()
+			eng.Run()
+			return st
+		}
+		raw, wrapped := run(false), run(true)
+		if raw.Injected == 0 {
+			t.Fatal("nothing injected")
+		}
+		if wrapped.Injected != raw.Injected || wrapped.Delivered != raw.Delivered {
+			t.Fatalf("wrap changed delivery: %d/%d vs %d/%d",
+				wrapped.Delivered, wrapped.Injected, raw.Delivered, raw.Injected)
+		}
+		if wrapped.Delivered != wrapped.Injected {
+			t.Fatalf("wrapped run lost packets: %d of %d", wrapped.Delivered, wrapped.Injected)
+		}
+		if wrapped.MeanLatency() != raw.MeanLatency() || wrapped.MaxLatency() != raw.MaxLatency() {
+			t.Fatalf("wrap perturbed latency: mean %v/%v max %v/%v",
+				wrapped.MeanLatency(), raw.MeanLatency(), wrapped.MaxLatency(), raw.MaxLatency())
+		}
+		if wrapped.Dropped != 0 {
+			t.Fatalf("zero-fault wrap dropped %d packets", wrapped.Dropped)
 		}
 	})
 }

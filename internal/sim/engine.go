@@ -49,6 +49,11 @@ type Engine struct {
 	// executed counts events dispatched since construction; useful both in
 	// tests and for reporting simulation effort.
 	executed uint64
+	// free is a free list of event structs: an executed event's struct is
+	// reused by a later Schedule/At instead of allocating afresh. The
+	// engine is single-threaded, so a plain stack suffices; its size is
+	// bounded by the peak number of pending events.
+	free []*event
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -82,7 +87,16 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
+	heap.Push(&e.events, ev)
 }
 
 // Stop makes Run and RunUntil return after the current event completes.
@@ -117,5 +131,11 @@ func (e *Engine) step() {
 	ev := heap.Pop(&e.events).(*event)
 	e.now = ev.at
 	e.executed++
-	ev.fn()
+	// Release the struct before dispatch so callbacks that schedule new
+	// events reuse it immediately (the common tick-reschedule pattern runs
+	// allocation-free).
+	fn := ev.fn
+	ev.fn = nil
+	e.free = append(e.free, ev)
+	fn()
 }

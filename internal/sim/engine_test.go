@@ -140,6 +140,74 @@ func TestEngineStop(t *testing.T) {
 	}
 }
 
+func TestEngineStopInsideEventHaltsRunUntil(t *testing.T) {
+	// Stop fired from inside an event must halt RunUntil after the current
+	// event, leave later events pending, keep the clock at the stopping
+	// event's timestamp, and allow a clean resume.
+	e := NewEngine()
+	var ran []Time
+	e.Schedule(10, func() { ran = append(ran, e.Now()) })
+	e.Schedule(20, func() { ran = append(ran, e.Now()); e.Stop() })
+	e.Schedule(30, func() { ran = append(ran, e.Now()) })
+	e.Schedule(40, func() { ran = append(ran, e.Now()) })
+	end := e.RunUntil(100)
+	if len(ran) != 2 {
+		t.Fatalf("ran %d events before Stop, want 2", len(ran))
+	}
+	if end != 20 || e.Now() != 20 {
+		t.Fatalf("stopped at %v (Now %v), want 20ps — clock must not jump to the deadline", end, e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d after Stop, want 2", e.Pending())
+	}
+	// Resume: RunUntil clears the stop flag, drains the rest, then advances
+	// the clock to the deadline.
+	end = e.RunUntil(100)
+	if len(ran) != 4 {
+		t.Fatalf("ran %d events after resume, want 4", len(ran))
+	}
+	if end != 100 || e.Pending() != 0 {
+		t.Fatalf("resume ended at %v with %d pending, want 100ps/0", end, e.Pending())
+	}
+}
+
+func TestEngineEventPoolingAllocationFree(t *testing.T) {
+	// Once the free list is primed, schedule/run cycles must recycle event
+	// structs instead of allocating fresh ones.
+	e := NewEngine()
+	fn := func() {}
+	burst := func() {
+		for i := 0; i < 8; i++ {
+			e.Schedule(Time(i), fn)
+		}
+		e.Run()
+	}
+	burst() // prime the pool and the heap/free-list capacity
+	allocs := testing.AllocsPerRun(100, burst)
+	if allocs > 0 {
+		t.Fatalf("schedule/run burst allocated %.1f per iteration, want 0", allocs)
+	}
+}
+
+func TestEngineFreeListReusesStructs(t *testing.T) {
+	// White-box: after running one event, scheduling another must pull the
+	// same struct off the free list.
+	e := NewEngine()
+	e.Schedule(0, func() {})
+	first := e.events[0]
+	e.Run()
+	if len(e.free) != 1 || e.free[0] != first {
+		t.Fatal("executed event did not land on the free list")
+	}
+	e.Schedule(0, func() {})
+	if e.events[0] != first {
+		t.Fatal("Schedule allocated a fresh struct with a non-empty free list")
+	}
+	if len(e.free) != 0 {
+		t.Fatalf("free list length = %d after reuse, want 0", len(e.free))
+	}
+}
+
 func TestEngineNegativeDelayPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -295,7 +363,29 @@ func TestRNGBool(t *testing.T) {
 	}
 }
 
+// BenchmarkEngineSchedule measures the steady-state schedule/dispatch cycle
+// on a primed engine; with event pooling it runs allocation-free (watch the
+// allocs/op column).
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.Schedule(Time(i), fn)
+	}
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(i%17), fn)
+		if i%64 == 63 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
 func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e := NewEngine()
 		var tick func()

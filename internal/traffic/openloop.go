@@ -6,6 +6,22 @@ import (
 	"macrochip/internal/sim"
 )
 
+// RetryPolicy enables end-to-end recovery on an open-loop generator: each
+// packet gets a delivery timeout, and undelivered packets are retransmitted
+// with exponential backoff (plus seeded jitter) up to MaxRetries times
+// before being abandoned. Retries and aborts are counted on the network's
+// Stats sink. The zero policy is disabled.
+type RetryPolicy struct {
+	// Timeout is the base delivery timeout for the first attempt; attempt
+	// k waits Timeout × 2^k.
+	Timeout sim.Duration
+	// MaxRetries bounds retransmissions per packet.
+	MaxRetries int
+}
+
+// Enabled reports whether the policy does anything.
+func (r RetryPolicy) Enabled() bool { return r.Timeout > 0 }
+
 // OpenLoop drives a network with independent per-site Poisson packet
 // sources, the load model behind the paper's figure-6 latency-vs-offered-
 // load study: "the input driver for these simulations probabilistically
@@ -24,12 +40,23 @@ type OpenLoop struct {
 	Until sim.Time
 	// Seed selects the random streams.
 	Seed int64
+	// Retry, when enabled, retransmits packets the network loses — the
+	// recovery layer exercised by the resilience study. Leave zero for the
+	// paper's loss-free experiments (no timeout events are scheduled, so
+	// runs are identical to the pre-fault-subsystem generator).
+	Retry RetryPolicy
+
+	// retryRNG jitters retransmission backoff; derived from Seed at Start.
+	retryRNG *sim.RNG
 }
 
 // Start schedules the first injection for every site. Call before Engine.Run.
 func (o *OpenLoop) Start() {
 	if o.Load <= 0 {
 		return
+	}
+	if o.Retry.Enabled() {
+		o.retryRNG = sim.NewRNG(sim.DeriveSeed(o.Seed, sim.StringLabel("openloop-retry")))
 	}
 	bytesPerPS := o.Load * o.Params.SiteBandwidthGBs * 1e-3 // GB/s → B/ps
 	mean := sim.Time(float64(o.PacketBytes)/bytesPerPS + 0.5)
@@ -47,12 +74,44 @@ func (o *OpenLoop) scheduleNext(site geometry.SiteID, rng *sim.RNG, mean sim.Tim
 		if o.Eng.Now() > o.Until {
 			return
 		}
-		o.Net.Inject(&core.Packet{
-			Src:   site,
-			Dst:   o.Pattern.Dest(site, rng),
-			Bytes: o.PacketBytes,
-			Class: core.ClassData,
-		})
+		o.send(site, o.Pattern.Dest(site, rng), 0)
 		o.scheduleNext(site, rng, mean)
 	})
+}
+
+// send injects one packet, arming the delivery-timeout/retransmit chain
+// when a retry policy is set.
+func (o *OpenLoop) send(src, dst geometry.SiteID, attempt int) {
+	p := &core.Packet{Src: src, Dst: dst, Bytes: o.PacketBytes, Class: core.ClassData}
+	if !o.Retry.Enabled() {
+		o.Net.Inject(p)
+		return
+	}
+	delivered := false
+	p.OnDeliver = func(_ *core.Packet, _ sim.Time) { delivered = true }
+	o.Net.Inject(p)
+	o.Eng.Schedule(o.backoff(attempt), func() {
+		if delivered {
+			return
+		}
+		st := o.Net.Stats()
+		if attempt >= o.Retry.MaxRetries {
+			st.AddAbort()
+			return
+		}
+		st.AddRetry()
+		o.send(src, dst, attempt+1)
+	})
+}
+
+// backoff returns attempt k's timeout: Timeout × 2^k plus up to one
+// Timeout of seeded jitter, so correlated losses do not resynchronize
+// their retries.
+func (o *OpenLoop) backoff(attempt int) sim.Duration {
+	if attempt > 20 {
+		attempt = 20
+	}
+	d := o.Retry.Timeout << attempt
+	d += sim.Time(o.retryRNG.Float64() * float64(o.Retry.Timeout))
+	return d
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"macrochip/internal/core"
+	"macrochip/internal/fault"
 	"macrochip/internal/networks/ptp"
 	"macrochip/internal/sim"
 	"macrochip/internal/traffic"
@@ -70,6 +71,106 @@ func TestOpenLoopZeroLoadInert(t *testing.T) {
 	gen.Start()
 	if eng.Pending() != 0 {
 		t.Fatal("zero-load generator scheduled events")
+	}
+}
+
+func TestOpenLoopRetryRecoversOutage(t *testing.T) {
+	// Site 0's laser is dark for a window mid-run. With a retry policy the
+	// generator retransmits dropped packets after the repair: every loss is
+	// either recovered or (for losses whose budget ran out) aborted — the
+	// run's accounting must balance exactly.
+	eng := sim.NewEngine()
+	p := core.DefaultParams()
+	st := core.NewStats(0)
+	fnet := fault.Wrap(eng, p, ptp.New(eng, p, st), 21)
+	gen := &traffic.OpenLoop{
+		Eng: eng, Params: p, Net: fnet,
+		Pattern: traffic.Uniform{Grid: p.Grid},
+		Load:    0.02, PacketBytes: 64,
+		Until: 2 * sim.Microsecond, Seed: 9,
+		Retry: traffic.RetryPolicy{Timeout: 200 * sim.Nanosecond, MaxRetries: 5},
+	}
+	eng.At(1, func() { fnet.FailLaser(0) })
+	eng.At(500*sim.Nanosecond, func() { fnet.RepairLaser(0) })
+	gen.Start()
+	eng.Run()
+	if st.Dropped == 0 {
+		t.Fatal("outage dropped nothing")
+	}
+	if st.Retries == 0 {
+		t.Fatal("no retransmissions despite drops")
+	}
+	// Every injection attempt is accounted for: delivered or dropped.
+	if st.Delivered+st.Dropped != st.Injected {
+		t.Fatalf("delivered %d + dropped %d != injected %d", st.Delivered, st.Dropped, st.Injected)
+	}
+	// The outage repairs with generous retry budget: no packet is
+	// permanently lost (each abort would mean >5 consecutive losses of one
+	// packet inside a 500 ns outage with 200 ns+ backoff — impossible).
+	if st.Aborts != 0 {
+		t.Fatalf("aborts = %d, want 0 after repair", st.Aborts)
+	}
+	// Recovered losses mean retries ≥ drops from the outage window.
+	if st.Retries < st.Dropped {
+		t.Fatalf("retries %d < drops %d: some losses never retried", st.Retries, st.Dropped)
+	}
+}
+
+func TestOpenLoopRetryExhaustionAborts(t *testing.T) {
+	// A permanently dark site with a tiny retry budget: every packet it
+	// sources must eventually abort rather than retry forever.
+	eng := sim.NewEngine()
+	p := core.DefaultParams()
+	st := core.NewStats(0)
+	fnet := fault.Wrap(eng, p, ptp.New(eng, p, st), 22)
+	gen := &traffic.OpenLoop{
+		Eng: eng, Params: p, Net: fnet,
+		Pattern: traffic.Transpose{Grid: p.Grid},
+		Load:    0.01, PacketBytes: 64,
+		Until: 500 * sim.Nanosecond, Seed: 10,
+		Retry: traffic.RetryPolicy{Timeout: 100 * sim.Nanosecond, MaxRetries: 1},
+	}
+	eng.At(1, func() { fnet.FailLaser(1) }) // transpose: site 1 → site 8
+	gen.Start()
+	end := eng.Run()
+	if st.Aborts == 0 {
+		t.Fatal("permanent outage never aborted")
+	}
+	// Bounded retransmission: the run terminates (no infinite retry loop).
+	if end > 100*sim.Microsecond {
+		t.Fatalf("run dragged to %v — retries unbounded?", end)
+	}
+	if got := fnet.Drops(fault.DarkLaser); got == 0 {
+		t.Fatal("per-class drop counter empty")
+	}
+}
+
+func TestOpenLoopRetryDisabledSchedulesNoTimeouts(t *testing.T) {
+	// Zero policy: the generator must behave exactly as before the
+	// recovery layer existed (same injections, no extra events).
+	run := func(retry traffic.RetryPolicy) (uint64, uint64) {
+		eng := sim.NewEngine()
+		p := core.DefaultParams()
+		st := core.NewStats(0)
+		net := ptp.New(eng, p, st)
+		gen := &traffic.OpenLoop{
+			Eng: eng, Params: p, Net: net,
+			Pattern: traffic.Uniform{Grid: p.Grid},
+			Load:    0.05, PacketBytes: 64,
+			Until: sim.Microsecond, Seed: 13,
+			Retry: retry,
+		}
+		gen.Start()
+		eng.Run()
+		return st.Injected, eng.Executed()
+	}
+	injOff, evOff := run(traffic.RetryPolicy{})
+	injOn, evOn := run(traffic.RetryPolicy{Timeout: 10 * sim.Microsecond, MaxRetries: 1})
+	if injOff != injOn {
+		t.Fatalf("retry policy changed injections on a lossless run: %d vs %d", injOff, injOn)
+	}
+	if evOn <= evOff {
+		t.Fatalf("enabled policy scheduled no timeout events (%d vs %d)", evOn, evOff)
 	}
 }
 
