@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check figures report
+.PHONY: build test race vet fmt staticcheck bench-smoke check figures report
 
 build:
 	$(GO) build ./...
@@ -21,8 +21,25 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# check is the pre-merge gate: vet + formatting + tests + race detector.
-check: vet fmt test race
+# staticcheck runs honnef.co/go/tools if it is on PATH and is a no-op (with
+# a notice) otherwise, so `make check` needs no network access; CI installs
+# the tool explicitly.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# bench-smoke compiles and runs each pinned benchmark once — enough to catch
+# a benchmark that no longer builds or an allocation-guard regression that
+# panics, without timing noise.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'EngineSchedule|DisabledInstruments' -benchtime 1x ./internal/sim ./internal/metrics
+
+# check is the pre-merge gate: vet + formatting + lint + tests + race
+# detector + benchmark smoke.
+check: vet fmt staticcheck test race bench-smoke
 
 figures:
 	$(GO) run ./cmd/figures -all

@@ -24,6 +24,10 @@ import (
 	"os"
 
 	"macrochip"
+	"macrochip/internal/harness"
+	"macrochip/internal/metrics"
+	"macrochip/internal/networks"
+	"macrochip/internal/traffic"
 )
 
 func main() {
@@ -35,6 +39,8 @@ func main() {
 	wl := flag.String("workload", "", "coherence workload for benchmark mode")
 	scale := flag.Float64("scale", 1.0, "workload instruction-quota scale")
 	seed := flag.Int64("seed", 1, "random seed")
+	tracePath := flag.String("trace", "", "write a Chrome-trace JSON of the run (raw-packet mode; open in Perfetto)")
+	metricsPath := flag.String("metrics-csv", "", "write sampled metric time series as CSV (raw-packet mode)")
 	dumpConfig := flag.Bool("dumpconfig", false, "print the full parameter block as JSON and exit")
 	flag.Parse()
 
@@ -63,16 +69,89 @@ func main() {
 		fmt.Printf("  router energy     %12.2f %% of total\n", r.RouterEnergyFraction*100)
 		fmt.Printf("  EDP               %12.4g J·s\n", r.EDP)
 	case *pattern != "":
-		pt, err := sys.RunLoadPoint(macrochip.Network(*network), *pattern, *load)
-		if err != nil {
-			log.Fatal(err)
+		var pt macrochip.LoadPoint
+		if *tracePath != "" || *metricsPath != "" {
+			var err error
+			pt, err = runObserved(sys, *network, *pattern, *load, *seed, *tracePath, *metricsPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			var err error
+			pt, err = sys.RunLoadPoint(macrochip.Network(*network), *pattern, *load)
+			if err != nil {
+				log.Fatal(err)
+			}
 		}
 		fmt.Printf("pattern %-10s network %s  load %.1f%%\n", *pattern, *network, *load*100)
 		fmt.Printf("  mean latency      %12.1f ns\n", pt.MeanLatencyNS)
 		fmt.Printf("  max latency       %12.1f ns\n", pt.MaxLatencyNS)
 		fmt.Printf("  accepted          %12.1f GB/s (offered %.1f GB/s)\n", pt.ThroughputGBs, pt.OfferedGBs)
 		fmt.Printf("  saturated         %12v\n", pt.Saturated)
+		fmt.Printf("  in flight         %12d\n", pt.InFlight)
 	default:
 		log.Fatal("pass -pattern for raw-packet mode or -workload for benchmark mode")
 	}
+}
+
+// runObserved is the raw-packet run with the observability layer attached:
+// a metrics registry sampled by the periodic probe (written as CSV) and/or
+// a Chrome-trace tracer (written as JSON for Perfetto). Sampling is
+// read-only, so the printed metrics match an unobserved run exactly.
+func runObserved(sys *macrochip.System, network, pattern string, load float64, seed int64, tracePath, metricsPath string) (macrochip.LoadPoint, error) {
+	pat, err := traffic.ByName(pattern, sys.Params().Grid)
+	if err != nil {
+		return macrochip.LoadPoint{}, err
+	}
+	cfg := harness.DefaultLoadPointConfig()
+	cfg.Params = sys.Params()
+	cfg.Network = networks.Kind(network)
+	cfg.Pattern = pat
+	cfg.Load = load
+	cfg.Seed = seed
+	if metricsPath != "" {
+		cfg.Obs.Reg = metrics.NewRegistry()
+	}
+	if tracePath != "" {
+		cfg.Obs.Trace = metrics.NewTracer()
+	}
+	r := harness.RunLoadPoint(cfg)
+	if metricsPath != "" {
+		if err := writeFile(metricsPath, func(w *os.File) error {
+			return harness.WriteMetricsCSV(w, cfg.Obs.Reg)
+		}); err != nil {
+			return macrochip.LoadPoint{}, err
+		}
+		fmt.Printf("wrote %s (%d instruments)\n", metricsPath, cfg.Obs.Reg.Len())
+	}
+	if tracePath != "" {
+		if err := writeFile(tracePath, func(w *os.File) error {
+			return cfg.Obs.Trace.WriteJSON(w)
+		}); err != nil {
+			return macrochip.LoadPoint{}, err
+		}
+		fmt.Printf("wrote %s (%d events)\n", tracePath, cfg.Obs.Trace.Events())
+	}
+	return macrochip.LoadPoint{
+		Load:          r.Load,
+		MeanLatencyNS: r.MeanLatency.Nanoseconds(),
+		P95LatencyNS:  r.P95Latency.Nanoseconds(),
+		MaxLatencyNS:  r.MaxLatency.Nanoseconds(),
+		ThroughputGBs: r.ThroughputGBs,
+		OfferedGBs:    r.OfferedGBs,
+		Saturated:     r.Saturated,
+		InFlight:      r.InFlight,
+	}, nil
+}
+
+func writeFile(path string, emit func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

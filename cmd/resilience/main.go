@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -41,7 +43,25 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	jobs := flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
 	csvPath := flag.String("csv", "", "also write the sweep as CSV to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer writeMemProfile(*memprofile)
 
 	cfg := harness.DefaultResilienceConfig()
 	cfg.Seed = *seed
@@ -112,4 +132,22 @@ func known(k networks.Kind) bool {
 		}
 	}
 	return false
+}
+
+// writeMemProfile snapshots the heap into path (no-op for ""); a GC first
+// makes the profile reflect live objects, not collection timing.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Print(err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		log.Print(err)
+	}
 }

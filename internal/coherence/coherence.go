@@ -26,6 +26,7 @@ package coherence
 import (
 	"macrochip/internal/core"
 	"macrochip/internal/geometry"
+	"macrochip/internal/metrics"
 	"macrochip/internal/sim"
 )
 
@@ -99,6 +100,10 @@ type Engine struct {
 	// not resynchronize their retries; nil means no jitter (still fully
 	// deterministic).
 	retryRNG *sim.RNG
+
+	// latHist records per-operation latency when a registry is attached
+	// (nil otherwise; Observe on nil is a no-op).
+	latHist *metrics.Histogram
 }
 
 // NewEngine returns a coherence engine bound to the network.
@@ -149,6 +154,39 @@ func (e *Engine) MeanLatency() sim.Time {
 		return 0
 	}
 	return e.LatencySum / sim.Time(e.Completed)
+}
+
+// Instrument implements metrics.Instrumentable: aggregate MSHR-occupancy and
+// MSHR-queue gauges, completed/retry/abort progress gauges, and a
+// per-operation latency histogram.
+func (e *Engine) Instrument(o metrics.Observer) {
+	if o.Reg == nil {
+		return
+	}
+	o.Reg.Gauge("coherence/mshr_used", func(sim.Time) float64 {
+		total := 0
+		for _, free := range e.mshrFree {
+			total += e.p.MSHRsPerSite - free
+		}
+		return float64(total)
+	})
+	o.Reg.Gauge("coherence/mshr_queued", func(sim.Time) float64 {
+		total := 0
+		for _, q := range e.waiting {
+			total += len(q)
+		}
+		return float64(total)
+	})
+	o.Reg.Gauge("coherence/completed", func(sim.Time) float64 {
+		return float64(e.Completed)
+	})
+	o.Reg.Gauge("coherence/retries", func(sim.Time) float64 {
+		return float64(e.Retries)
+	})
+	o.Reg.Gauge("coherence/aborted", func(sim.Time) float64 {
+		return float64(e.Aborted)
+	})
+	e.latHist = o.Reg.Histogram("coherence/op_latency")
 }
 
 // tracker follows one operation's outstanding responses across (possibly
@@ -254,6 +292,7 @@ func (e *Engine) finish(t *tracker, at sim.Time) {
 	lat := at - t.issued
 	e.Completed++
 	e.LatencySum += lat
+	e.latHist.Observe(lat)
 	if lat > e.MaxLatency {
 		e.MaxLatency = lat
 	}

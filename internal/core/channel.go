@@ -118,10 +118,28 @@ func (c *Channel) Backlog(now sim.Time) sim.Time {
 // BusyTime returns the cumulative transmitter-occupied time.
 func (c *Channel) BusyTime() sim.Time { return c.busyPS }
 
-// Utilization returns busy time divided by elapsed time.
+// Utilization returns the fraction of [0, elapsed] the transmitter was
+// occupied. busyPS charges a reservation's full serialization at booking
+// time, so the raw ratio busyPS/elapsed can exceed 1 whenever the booked
+// service extends past the sample point; the not-yet-served tail
+// (nextFree − elapsed) is subtracted before dividing. The subtraction is
+// exact when the channel is busy at the sample point (FIFO service is
+// contiguous up to nextFree) and conservative when a future-dated
+// reservation left an idle gap, and the result is clamped to [0, 1] either
+// way.
 func (c *Channel) Utilization(elapsed sim.Time) float64 {
 	if elapsed <= 0 {
 		return 0
 	}
-	return float64(c.busyPS) / float64(elapsed)
+	busy := c.busyPS
+	if tail := c.nextFree - elapsed; tail > 0 {
+		busy -= tail
+	}
+	if busy < 0 {
+		busy = 0
+	}
+	if busy > elapsed {
+		busy = elapsed
+	}
+	return float64(busy) / float64(elapsed)
 }

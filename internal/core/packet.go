@@ -25,6 +25,12 @@ const (
 	numClasses
 )
 
+// MsgClasses returns every message class in declaration order — the
+// iteration set for per-class instruments.
+func MsgClasses() []MsgClass {
+	return []MsgClass{ClassData, ClassRequest, ClassInvalidate, ClassAck}
+}
+
 // String returns the class name.
 func (c MsgClass) String() string {
 	switch c {

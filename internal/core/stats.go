@@ -30,11 +30,17 @@ type Stats struct {
 	Delivered    uint64
 	MeasuredPkts uint64
 
-	// Latency accumulators over measured packets (ps).
-	latencySum   float64
-	latencySqSum float64
-	latencyMax   sim.Time
-	hist         LatencyHistogram
+	// Latency accumulators over measured packets (ps). The mean comes from
+	// the plain sum; the variance runs on Welford's algorithm (running
+	// mean + M2), because the naive latencySqSum/n − mean² form
+	// catastrophically cancels when latencies sit on a large common offset
+	// with small spread — exactly the regime of picosecond-resolution
+	// timestamps late in a long run.
+	latencySum  float64
+	welfordMean float64
+	welfordM2   float64
+	latencyMax  sim.Time
+	hist        LatencyHistogram
 
 	// Throughput accounting: bytes of measured packets delivered inside the
 	// [WarmupStart, MeasureEnd] window.
@@ -65,6 +71,9 @@ type Stats struct {
 
 	// PerClass delivery counts.
 	PerClass [numClasses]uint64
+	// injectedPerClass mirrors Injected by message class, so the
+	// observability layer can expose per-class in-flight counts.
+	injectedPerClass [numClasses]uint64
 }
 
 // NewStats returns an empty sink with measurement starting at warmup.
@@ -77,6 +86,7 @@ func (s *Stats) StampInjection(p *Packet, now sim.Time) {
 	p.ID = s.nextID
 	p.Born = now
 	s.Injected++
+	s.injectedPerClass[p.Class]++
 }
 
 // RecordDelivery notes a completed delivery at time `at` and invokes the
@@ -88,7 +98,9 @@ func (s *Stats) RecordDelivery(p *Packet, at sim.Time) {
 		s.MeasuredPkts++
 		lat := at - p.Born
 		s.latencySum += float64(lat)
-		s.latencySqSum += float64(lat) * float64(lat)
+		d := float64(lat) - s.welfordMean
+		s.welfordMean += d / float64(s.MeasuredPkts)
+		s.welfordM2 += d * (float64(lat) - s.welfordMean)
 		if lat > s.latencyMax {
 			s.latencyMax = lat
 		}
@@ -134,6 +146,24 @@ func (s *Stats) Availability() float64 {
 	return float64(s.Delivered) / float64(s.Injected)
 }
 
+// InFlight reports packets injected but neither delivered nor dropped —
+// at a drain cutoff these are the survivors whose (high) latencies never
+// made it into the statistics, so load-sweep results must surface the
+// count rather than silently pretend the sample is complete.
+func (s *Stats) InFlight() uint64 {
+	return s.Injected - s.Delivered - s.Dropped
+}
+
+// ClassInjected reports injections of one message class.
+func (s *Stats) ClassInjected(c MsgClass) uint64 { return s.injectedPerClass[c] }
+
+// ClassInFlight reports undelivered injections of one message class. Drops
+// are not classified per message class, so dropped packets remain counted
+// here until the run ends (documented bias, fine for occupancy gauges).
+func (s *Stats) ClassInFlight(c MsgClass) uint64 {
+	return s.injectedPerClass[c] - s.PerClass[c]
+}
+
 // MeanLatency returns the average measured latency.
 func (s *Stats) MeanLatency() sim.Time {
 	if s.MeasuredPkts == 0 {
@@ -145,14 +175,16 @@ func (s *Stats) MeanLatency() sim.Time {
 // MaxLatency returns the worst measured latency.
 func (s *Stats) MaxLatency() sim.Time { return s.latencyMax }
 
-// LatencyStdDev returns the standard deviation of measured latency.
+// LatencyStdDev returns the (population) standard deviation of measured
+// latency, computed with Welford's algorithm: numerically stable even when
+// every latency shares a huge offset with tiny spread, where the naive
+// sum-of-squares form cancels to garbage (pinned by a regression test).
 func (s *Stats) LatencyStdDev() sim.Time {
 	n := float64(s.MeasuredPkts)
 	if n < 2 {
 		return 0
 	}
-	mean := s.latencySum / n
-	v := s.latencySqSum/n - mean*mean
+	v := s.welfordM2 / n
 	if v < 0 {
 		v = 0
 	}

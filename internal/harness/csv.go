@@ -6,6 +6,7 @@ import (
 	"io"
 	"strconv"
 
+	"macrochip/internal/metrics"
 	"macrochip/internal/networks"
 )
 
@@ -14,10 +15,12 @@ import (
 // header row and uses one row per measured point.
 
 // WriteFigure6CSV emits one panel as
-// pattern,network,load_pct,mean_ns,p95_ns,max_ns,accepted_gbs,offered_gbs,saturated.
+// pattern,network,load_pct,mean_ns,p95_ns,max_ns,accepted_gbs,offered_gbs,saturated,inflight.
+// The inflight column is the survivorship-bias health check: when it is
+// large, the latency columns on that row understate the truth.
 func WriteFigure6CSV(w io.Writer, panel Figure6Panel) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"pattern", "network", "load_pct", "mean_ns", "p95_ns", "max_ns", "accepted_gbs", "offered_gbs", "saturated"}); err != nil {
+	if err := cw.Write([]string{"pattern", "network", "load_pct", "mean_ns", "p95_ns", "max_ns", "accepted_gbs", "offered_gbs", "saturated", "inflight"}); err != nil {
 		return err
 	}
 	for _, s := range panel.Series {
@@ -32,6 +35,7 @@ func WriteFigure6CSV(w io.Writer, panel Figure6Panel) error {
 				f(pt.ThroughputGBs),
 				f(pt.OfferedGBs),
 				strconv.FormatBool(pt.Saturated),
+				strconv.FormatUint(pt.InFlight, 10),
 			}
 			if err := cw.Write(rec); err != nil {
 				return err
@@ -118,6 +122,38 @@ func WriteResilienceCSV(w io.Writer, points []ResiliencePoint) error {
 			strconv.FormatUint(pt.Aborts, 10),
 		}
 		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMetricsCSV emits a registry's probed time series in long form as
+// metric,t_ns,value — one row per (instrument, probe tick), instruments in
+// name order. Counters appear as cumulative counts (diff consecutive rows
+// for rates); gauges as instantaneous readings. Instruments that were never
+// sampled (no probe ran) emit nothing.
+func WriteMetricsCSV(w io.Writer, reg *metrics.Registry) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"metric", "t_ns", "value"}); err != nil {
+		return err
+	}
+	write := func(name string, series []metrics.Sample) error {
+		for _, s := range series {
+			if err := cw.Write([]string{name, f(s.T.Nanoseconds()), f(s.V)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, g := range reg.Gauges() {
+		if err := write(g.Name(), g.Series()); err != nil {
+			return err
+		}
+	}
+	for _, c := range reg.Counters() {
+		if err := write(c.Name(), c.Series()); err != nil {
 			return err
 		}
 	}

@@ -36,7 +36,7 @@ func TestWriteFigure6CSV(t *testing.T) {
 	if len(recs) != 3 { // header + 2 points
 		t.Fatalf("rows = %d", len(recs))
 	}
-	if recs[0][0] != "pattern" || len(recs[0]) != 9 {
+	if recs[0][0] != "pattern" || len(recs[0]) != 10 || recs[0][9] != "inflight" {
 		t.Fatalf("header = %v", recs[0])
 	}
 	if recs[1][0] != "butterfly" || recs[1][1] != "point-to-point" {

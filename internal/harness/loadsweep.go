@@ -6,6 +6,7 @@ package harness
 
 import (
 	"macrochip/internal/core"
+	"macrochip/internal/metrics"
 	"macrochip/internal/networks"
 	"macrochip/internal/sim"
 	"macrochip/internal/traffic"
@@ -24,6 +25,14 @@ type LoadPointConfig struct {
 	// Warmup and Measure are the settle and measurement windows.
 	Warmup, Measure sim.Time
 	Seed            int64
+
+	// Obs, when enabled, wires the observability layer into the network and
+	// generator. Sampling is read-only, so instrumented results are
+	// byte-identical to uninstrumented ones (pinned by a test).
+	Obs metrics.Observer
+	// SampleInterval is the metrics-probe period; zero with a non-nil
+	// Obs.Reg falls back to Measure/64.
+	SampleInterval sim.Duration
 }
 
 // LoadPoint is the outcome of one load-sweep simulation.
@@ -39,6 +48,12 @@ type LoadPoint struct {
 	// (the point past the latency asymptote).
 	Saturated bool
 	Delivered uint64
+	// InFlight counts packets injected but never delivered by the drain
+	// cutoff. At saturated points these survivors carry the highest
+	// latencies, so the latency columns are biased low exactly when this
+	// column is large — report it rather than pretending the sample is
+	// complete.
+	InFlight uint64
 }
 
 // DefaultLoadPointConfig fills the standard figure-6 settings.
@@ -70,6 +85,20 @@ func RunLoadPoint(cfg LoadPointConfig) LoadPoint {
 		Seed:        cfg.Seed,
 	}
 	gen.Start()
+	if cfg.Obs.Enabled() {
+		metrics.Instrument(net, cfg.Obs)
+		metrics.Instrument(gen, cfg.Obs)
+		// One engine-load counter sample every 1024 dispatches keeps the
+		// trace small at any simulation length.
+		cfg.Obs.Trace.AttachEngine(eng, 1024)
+		if cfg.Obs.Reg != nil {
+			interval := cfg.SampleInterval
+			if interval <= 0 {
+				interval = cfg.Measure / 64
+			}
+			metrics.NewProbe(eng, cfg.Obs.Reg, interval).Start(end + cfg.Measure)
+		}
+	}
 	// Run past the injection horizon so in-flight packets drain enough for
 	// stable statistics, then cut off: a saturated network would never
 	// drain completely.
@@ -86,6 +115,7 @@ func RunLoadPoint(cfg LoadPointConfig) LoadPoint {
 		OfferedGBs:    offered,
 		Saturated:     thru < 0.90*offered,
 		Delivered:     stats.Delivered,
+		InFlight:      stats.InFlight(),
 	}
 }
 

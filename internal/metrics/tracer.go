@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+
+	"macrochip/internal/sim"
+)
+
+// Tracer records model activity as Chrome-trace-format events — complete
+// spans ("X"), instants ("i"), and counter series ("C") — grouped into
+// named tracks (one per site or channel), viewable in Perfetto or
+// chrome://tracing. Timestamps convert from simulated picoseconds to the
+// format's microseconds, so a nanosecond-scale run zooms naturally.
+//
+// A nil *Tracer is the disabled layer: every method is a no-op. Call sites
+// that must format names or compute extra state guard with a plain nil
+// check so the disabled path stays allocation-free.
+type Tracer struct {
+	tracks []string
+	byName map[string]TrackID
+	events []traceEvent
+}
+
+// TrackID names one Perfetto track (thread row). The zero value is the
+// first registered track; nil-tracer registrations return 0, which is safe
+// because a nil tracer also drops every event.
+type TrackID int32
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON Object Format envelope.
+type chromeTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// NewTracer returns an empty enabled tracer.
+func NewTracer() *Tracer { return &Tracer{byName: map[string]TrackID{}} }
+
+// Enabled reports whether events are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Track registers (or finds) a named track and returns its ID.
+func (t *Tracer) Track(name string) TrackID {
+	if t == nil {
+		return 0
+	}
+	if id, ok := t.byName[name]; ok {
+		return id
+	}
+	id := TrackID(len(t.tracks))
+	t.tracks = append(t.tracks, name)
+	t.byName[name] = id
+	return id
+}
+
+// ps → µs, the trace format's timestamp unit.
+func usOf(ts sim.Time) float64 { return float64(ts) / 1e6 }
+
+// Span records a complete event [start, end] on a track. Zero-duration
+// spans are legal (Perfetto renders them as slivers).
+func (t *Tracer) Span(tk TrackID, cat, name string, start, end sim.Time) {
+	if t == nil {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	dur := usOf(end) - usOf(start)
+	t.events = append(t.events, traceEvent{
+		Name: name, Cat: cat, Ph: "X", TS: usOf(start), Dur: &dur,
+		PID: 1, TID: int(tk) + 1,
+	})
+}
+
+// Instant records a point event on a track.
+func (t *Tracer) Instant(tk TrackID, cat, name string, at sim.Time) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		Name: name, Cat: cat, Ph: "i", TS: usOf(at),
+		PID: 1, TID: int(tk) + 1,
+		Args: map[string]any{"s": "t"}, // thread-scoped instant
+	})
+}
+
+// CounterSample records one value of a named counter series at the given
+// time; Perfetto plots the series as a stepped graph.
+func (t *Tracer) CounterSample(tk TrackID, name string, at sim.Time, v float64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		Name: name, Ph: "C", TS: usOf(at),
+		PID: 1, TID: int(tk) + 1,
+		Args: map[string]any{"value": v},
+	})
+}
+
+// Events reports the number of recorded events (metadata excluded).
+func (t *Tracer) Events() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// AttachEngine installs a dispatch hook on the engine that records the
+// cumulative dispatched-event count onto an "engine" track every `every`
+// dispatches — a cheap way to see where simulation effort concentrates in
+// time. A nil tracer installs nothing (the engine keeps its nil hook and
+// its allocation-free fast path).
+func (t *Tracer) AttachEngine(eng *sim.Engine, every uint64) {
+	if t == nil {
+		return
+	}
+	if every == 0 {
+		every = 1
+	}
+	tk := t.Track("engine")
+	var n uint64
+	eng.SetDispatchHook(func(at sim.Time) {
+		n++
+		if n%every == 0 {
+			t.CounterSample(tk, "dispatched", at, float64(n))
+		}
+	})
+}
+
+// WriteJSON emits the trace in Chrome trace JSON Object Format: track-name
+// metadata first, then every recorded event in recording order.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := w.Write([]byte(`{"traceEvents":[],"displayTimeUnit":"ns"}`))
+		return err
+	}
+	out := chromeTrace{DisplayTimeUnit: "ns"}
+	out.TraceEvents = make([]traceEvent, 0, len(t.tracks)+len(t.events))
+	for i, name := range t.tracks {
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: i + 1,
+			Args: map[string]any{"name": name},
+		})
+	}
+	out.TraceEvents = append(out.TraceEvents, t.events...)
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

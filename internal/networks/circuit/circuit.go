@@ -19,7 +19,10 @@
 package circuit
 
 import (
+	"fmt"
+
 	"macrochip/internal/core"
+	"macrochip/internal/metrics"
 	"macrochip/internal/sim"
 )
 
@@ -39,6 +42,12 @@ type Network struct {
 	landing []*core.Channel
 
 	ctrlHop sim.Time
+
+	// Optional trace instrumentation (see Instrument).
+	tr        *metrics.Tracer
+	siteTrack []metrics.TrackID
+	// setups counts path setups when a registry is attached.
+	setups *metrics.Counter
 }
 
 // New constructs the network.
@@ -123,6 +132,12 @@ func (n *Network) startCircuit(p *core.Packet) {
 	}
 	prop := sim.FromNanoseconds(float64(hops) * n.p.Grid.TorusHopCM() * n.p.Comp.PropagationNSPerCM)
 	n.stats.AddOpticalTraversal(p.Bytes)
+	n.setups.Inc()
+	if n.tr != nil {
+		tk := n.siteTrack[p.Src]
+		n.tr.Span(tk, "arb", "setup", now, dataStart)
+		n.tr.Span(tk, "chan", "data", dataStart, dataEnd)
+	}
 	n.eng.Schedule(dataEnd+prop-now, func() {
 		n.stats.RecordDelivery(p, n.eng.Now())
 	})
@@ -144,3 +159,37 @@ func (n *Network) releaseSlot(s int) {
 
 // PendingAt reports the queue length at a source gateway (for tests).
 func (n *Network) PendingAt(s int) int { return len(n.pending[s]) }
+
+// Instrument implements metrics.Instrumentable: per-site landing-channel
+// utilization/backlog, free circuit engines and pending-transfer gauges, a
+// path-setup counter, and per-site trace tracks with setup/data spans.
+func (n *Network) Instrument(o metrics.Observer) {
+	sites := n.p.Grid.Sites()
+	if o.Reg != nil {
+		for s := 0; s < sites; s++ {
+			s := s
+			ch := n.landing[s]
+			name := fmt.Sprintf("circuit/site/%d", s)
+			o.Reg.Gauge(name+"/landing_util", func(now sim.Time) float64 {
+				return ch.Utilization(now)
+			})
+			o.Reg.Gauge(name+"/landing_backlog_ns", func(now sim.Time) float64 {
+				return ch.Backlog(now).Nanoseconds()
+			})
+			o.Reg.Gauge(name+"/slots_free", func(sim.Time) float64 {
+				return float64(n.slots[s])
+			})
+			o.Reg.Gauge(name+"/pending", func(sim.Time) float64 {
+				return float64(len(n.pending[s]))
+			})
+		}
+		n.setups = o.Reg.Counter("circuit/path_setups")
+	}
+	if o.Trace != nil {
+		n.tr = o.Trace
+		n.siteTrack = make([]metrics.TrackID, sites)
+		for s := range n.siteTrack {
+			n.siteTrack[s] = n.tr.Track(fmt.Sprintf("site %d", s))
+		}
+	}
+}

@@ -11,8 +11,11 @@
 package limited
 
 import (
+	"fmt"
+
 	"macrochip/internal/core"
 	"macrochip/internal/geometry"
+	"macrochip/internal/metrics"
 	"macrochip/internal/sim"
 )
 
@@ -23,6 +26,10 @@ type Network struct {
 	stats *core.Stats
 	// chans[src][dst] exists only for row/column peers.
 	chans [][]*core.Channel
+
+	// Optional trace instrumentation (see Instrument).
+	tr        *metrics.Tracer
+	siteTrack []metrics.TrackID
 }
 
 // New constructs the network.
@@ -91,13 +98,20 @@ func (n *Network) Inject(p *core.Packet) {
 // forwards to the destination.
 func (n *Network) sendVia(p *core.Packet, f geometry.SiteID) {
 	now := n.eng.Now()
-	_, end := n.chans[p.Src][f].Reserve(now, p.Bytes)
+	start, end := n.chans[p.Src][f].Reserve(now, p.Bytes)
 	arrive := end + n.p.PropDelay(p.Src, f)
 	n.stats.AddOpticalTraversal(p.Bytes)
+	if n.tr != nil {
+		n.tr.Span(n.siteTrack[p.Src], "chan", "serialize", start, end)
+	}
 	n.eng.Schedule(arrive-now, func() {
 		// O-E conversion + 7×7 router hop (1 cycle) + E-O conversion.
 		p.Hops++
 		n.stats.AddRouterBytes(p.Bytes)
+		if n.tr != nil {
+			at := n.eng.Now()
+			n.tr.Span(n.siteTrack[f], "router", "route", at, at+n.p.Cycles(n.p.RouterCycles))
+		}
 		n.eng.Schedule(n.p.Cycles(n.p.RouterCycles), func() {
 			n.sendLeg(p, f, p.Dst, true)
 		})
@@ -108,12 +122,46 @@ func (n *Network) sendVia(p *core.Packet, f geometry.SiteID) {
 // records delivery on arrival.
 func (n *Network) sendLeg(p *core.Packet, a, b geometry.SiteID, final bool) {
 	now := n.eng.Now()
-	_, end := n.chans[a][b].Reserve(now, p.Bytes)
+	start, end := n.chans[a][b].Reserve(now, p.Bytes)
 	arrive := end + n.p.PropDelay(a, b)
 	n.stats.AddOpticalTraversal(p.Bytes)
+	if n.tr != nil {
+		n.tr.Span(n.siteTrack[a], "chan", "serialize", start, end)
+	}
 	n.eng.Schedule(arrive-now, func() {
 		if final {
 			n.stats.RecordDelivery(p, n.eng.Now())
 		}
 	})
+}
+
+// Instrument implements metrics.Instrumentable: utilization/backlog gauges
+// for every row/column peer channel, plus per-site trace tracks with
+// serialization and router-hop spans.
+func (n *Network) Instrument(o metrics.Observer) {
+	sites := n.p.Grid.Sites()
+	if o.Reg != nil {
+		for s := 0; s < sites; s++ {
+			for d := 0; d < sites; d++ {
+				ch := n.chans[s][d]
+				if ch == nil {
+					continue
+				}
+				name := fmt.Sprintf("limited/chan/%d-%d", s, d)
+				o.Reg.Gauge(name+"/util", func(now sim.Time) float64 {
+					return ch.Utilization(now)
+				})
+				o.Reg.Gauge(name+"/backlog_ns", func(now sim.Time) float64 {
+					return ch.Backlog(now).Nanoseconds()
+				})
+			}
+		}
+	}
+	if o.Trace != nil {
+		n.tr = o.Trace
+		n.siteTrack = make([]metrics.TrackID, sites)
+		for s := range n.siteTrack {
+			n.siteTrack[s] = n.tr.Track(fmt.Sprintf("site %d", s))
+		}
+	}
 }

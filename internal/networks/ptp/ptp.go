@@ -11,8 +11,11 @@
 package ptp
 
 import (
+	"fmt"
+
 	"macrochip/internal/core"
 	"macrochip/internal/geometry"
+	"macrochip/internal/metrics"
 	"macrochip/internal/sim"
 )
 
@@ -23,6 +26,11 @@ type Network struct {
 	stats *core.Stats
 	// chans[src][dst] is the dedicated channel; nil on the diagonal.
 	chans [][]*core.Channel
+
+	// tr and siteTrack carry optional trace instrumentation (nil/empty when
+	// disabled; see Instrument).
+	tr        *metrics.Tracer
+	siteTrack []metrics.TrackID
 }
 
 // New constructs the network.
@@ -57,12 +65,46 @@ func (n *Network) Inject(p *core.Packet) {
 		})
 		return
 	}
-	_, end := n.chans[p.Src][p.Dst].Reserve(now, p.Bytes)
+	start, end := n.chans[p.Src][p.Dst].Reserve(now, p.Bytes)
 	arrive := end + n.p.PropDelay(p.Src, p.Dst)
 	n.stats.AddOpticalTraversal(p.Bytes)
+	if n.tr != nil {
+		n.tr.Span(n.siteTrack[p.Src], "chan", "serialize", start, end)
+	}
 	n.eng.Schedule(arrive-now, func() {
 		n.stats.RecordDelivery(p, n.eng.Now())
 	})
+}
+
+// Instrument implements metrics.Instrumentable: per-channel utilization
+// and backlog gauges, and one trace track per source site carrying
+// serialization spans.
+func (n *Network) Instrument(o metrics.Observer) {
+	sites := n.p.Grid.Sites()
+	if o.Reg != nil {
+		for s := 0; s < sites; s++ {
+			for d := 0; d < sites; d++ {
+				ch := n.chans[s][d]
+				if ch == nil {
+					continue
+				}
+				name := fmt.Sprintf("ptp/chan/%d-%d", s, d)
+				o.Reg.Gauge(name+"/util", func(now sim.Time) float64 {
+					return ch.Utilization(now)
+				})
+				o.Reg.Gauge(name+"/backlog_ns", func(now sim.Time) float64 {
+					return ch.Backlog(now).Nanoseconds()
+				})
+			}
+		}
+	}
+	if o.Trace != nil {
+		n.tr = o.Trace
+		n.siteTrack = make([]metrics.TrackID, sites)
+		for s := range n.siteTrack {
+			n.siteTrack[s] = n.tr.Track(fmt.Sprintf("site %d", s))
+		}
+	}
 }
 
 // ChannelUtilization reports the utilization of the src→dst channel over the

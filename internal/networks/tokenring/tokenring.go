@@ -19,8 +19,11 @@
 package tokenring
 
 import (
+	"fmt"
+
 	"macrochip/internal/core"
 	"macrochip/internal/geometry"
+	"macrochip/internal/metrics"
 	"macrochip/internal/sim"
 )
 
@@ -54,6 +57,12 @@ type Network struct {
 	// dst.
 	queues [][][]*core.Packet
 	tokens []*token
+
+	// Optional trace instrumentation (see Instrument).
+	tr        *metrics.Tracer
+	siteTrack []metrics.TrackID
+	// grants counts token acquisitions when a registry is attached.
+	grants *metrics.Counter
 }
 
 // New constructs the network.
@@ -177,6 +186,11 @@ func (n *Network) grant(d int, epoch uint64) {
 		hold += ser
 		arrive := launch + ser + n.ringPropDelay(w, n.ringPos[p.Dst])
 		n.stats.AddOpticalTraversal(p.Bytes)
+		if n.tr != nil {
+			src := n.siteTrack[n.ringOrder[w]]
+			n.tr.Span(src, "arb", "token-wait", p.Born, launch)
+			n.tr.Span(src, "chan", "tx", launch, launch+ser)
+		}
 		pp := p
 		n.eng.Schedule(arrive-now, func() {
 			n.stats.RecordDelivery(pp, n.eng.Now())
@@ -187,6 +201,7 @@ func (n *Network) grant(d int, epoch uint64) {
 		tk.waiting--
 	}
 	n.stats.AddArbMessage() // one token acquisition+release
+	n.grants.Inc()
 	tk.granted = false
 	n.release(d, w, now+hold)
 }
@@ -228,6 +243,36 @@ func (n *Network) ringPropDelay(a, b int) sim.Time {
 	k := n.p.Grid.RingDist(a, b)
 	ns := float64(k) * n.p.Grid.PitchCM * n.p.Comp.PropagationNSPerCM
 	return sim.FromNanoseconds(ns)
+}
+
+// Instrument implements metrics.Instrumentable: per-destination queue-depth
+// and waiting-source gauges, a token-grant counter, and per-site trace
+// tracks carrying token-wait and transmit spans.
+func (n *Network) Instrument(o metrics.Observer) {
+	sites := len(n.ringOrder)
+	if o.Reg != nil {
+		for d := 0; d < sites; d++ {
+			d := d
+			o.Reg.Gauge(fmt.Sprintf("tokenring/dst/%d/queued", d), func(sim.Time) float64 {
+				total := 0
+				for _, q := range n.queues[d] {
+					total += len(q)
+				}
+				return float64(total)
+			})
+			o.Reg.Gauge(fmt.Sprintf("tokenring/dst/%d/waiting_srcs", d), func(sim.Time) float64 {
+				return float64(n.tokens[d].waiting)
+			})
+		}
+		n.grants = o.Reg.Counter("tokenring/token_grants")
+	}
+	if o.Trace != nil {
+		n.tr = o.Trace
+		n.siteTrack = make([]metrics.TrackID, sites)
+		for s := range n.siteTrack {
+			n.siteTrack[s] = n.tr.Track(fmt.Sprintf("site %d", s))
+		}
+	}
 }
 
 // QueuedFor reports the number of packets waiting at src for dst — used by

@@ -28,8 +28,11 @@
 package twophase
 
 import (
+	"fmt"
+
 	"macrochip/internal/core"
 	"macrochip/internal/geometry"
+	"macrochip/internal/metrics"
 	"macrochip/internal/sim"
 )
 
@@ -70,6 +73,12 @@ type Network struct {
 
 	// WastedSlots counts grants lost to switch-tree contention.
 	WastedSlots uint64
+
+	// Optional trace instrumentation (see Instrument).
+	tr        *metrics.Tracer
+	siteTrack []metrics.TrackID
+	// wasted mirrors WastedSlots into the registry when one is attached.
+	wasted *metrics.Counter
 }
 
 // New constructs the base network; NewALT the doubled-tree variant.
@@ -182,6 +191,9 @@ func (n *Network) request(p *core.Packet) {
 	n.lastSender[p.Dst] = p.Src
 	start, _ := n.dstChan[p.Dst].ReserveDuration(now+n.arbLead, gap+n.slotTime(p.Bytes))
 	dataStart := start + gap
+	if n.tr != nil {
+		n.tr.Span(n.siteTrack[p.Src], "arb", "arbitrate", now, dataStart)
+	}
 	n.eng.Schedule(dataStart-now, func() { n.slotGranted(p, dataStart) })
 }
 
@@ -197,6 +209,9 @@ func (n *Network) slotGranted(p *core.Packet, start sim.Time) {
 			trees[i] = start + slotLen
 			arrive := start + slotLen + n.p.PropDelay(p.Src, p.Dst)
 			n.stats.AddOpticalTraversal(p.Bytes)
+			if n.tr != nil {
+				n.tr.Span(n.siteTrack[p.Src], "chan", "data", start, start+slotLen)
+			}
 			n.eng.Schedule(arrive-n.eng.Now(), func() {
 				cq := n.cols[p.Src][col]
 				cq.inFlight--
@@ -209,5 +224,55 @@ func (n *Network) slotGranted(p *core.Packet, start sim.Time) {
 	// Tree contention: the slot is lost (the channel reservation already
 	// consumed the bandwidth) and the request is replayed.
 	n.WastedSlots++
+	n.wasted.Inc()
+	if n.tr != nil {
+		n.tr.Instant(n.siteTrack[p.Src], "arb", "wasted-slot", start)
+	}
 	n.request(p)
+}
+
+// Instrument implements metrics.Instrumentable: per-destination delivery-
+// channel utilization/backlog gauges, per-source queued and in-flight tree
+// gauges, a wasted-slot counter, and per-site trace tracks carrying
+// arbitration/data spans and wasted-slot instants.
+func (n *Network) Instrument(o metrics.Observer) {
+	sites := n.p.Grid.Sites()
+	if o.Reg != nil {
+		for d := 0; d < sites; d++ {
+			d := d
+			ch := n.dstChan[d]
+			name := fmt.Sprintf("twophase/dst/%d", d)
+			o.Reg.Gauge(name+"/util", func(now sim.Time) float64 {
+				return ch.Utilization(now)
+			})
+			o.Reg.Gauge(name+"/backlog_ns", func(now sim.Time) float64 {
+				return ch.Backlog(now).Nanoseconds()
+			})
+		}
+		for s := 0; s < sites; s++ {
+			s := s
+			o.Reg.Gauge(fmt.Sprintf("twophase/src/%d/queued", s), func(sim.Time) float64 {
+				total := 0
+				for _, cq := range n.cols[s] {
+					total += len(cq.queue)
+				}
+				return float64(total)
+			})
+			o.Reg.Gauge(fmt.Sprintf("twophase/src/%d/trees_busy", s), func(sim.Time) float64 {
+				total := 0
+				for _, cq := range n.cols[s] {
+					total += cq.inFlight
+				}
+				return float64(total)
+			})
+		}
+		n.wasted = o.Reg.Counter("twophase/wasted_slots")
+	}
+	if o.Trace != nil {
+		n.tr = o.Trace
+		n.siteTrack = make([]metrics.TrackID, sites)
+		for s := range n.siteTrack {
+			n.siteTrack[s] = n.tr.Track(fmt.Sprintf("site %d", s))
+		}
+	}
 }

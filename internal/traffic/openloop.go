@@ -3,6 +3,7 @@ package traffic
 import (
 	"macrochip/internal/core"
 	"macrochip/internal/geometry"
+	"macrochip/internal/metrics"
 	"macrochip/internal/sim"
 )
 
@@ -101,6 +102,43 @@ func (o *OpenLoop) send(src, dst geometry.SiteID, attempt int) {
 		}
 		st.AddRetry()
 		o.send(src, dst, attempt+1)
+	})
+}
+
+// Instrument implements metrics.Instrumentable: progress gauges derived
+// from the network's Stats sink — injected/delivered/in-flight totals,
+// per-class in-flight occupancy, and the recovery and arbitration counters.
+func (o *OpenLoop) Instrument(ob metrics.Observer) {
+	if ob.Reg == nil {
+		return
+	}
+	st := o.Net.Stats()
+	ob.Reg.Gauge("traffic/injected", func(sim.Time) float64 {
+		return float64(st.Injected)
+	})
+	ob.Reg.Gauge("traffic/delivered", func(sim.Time) float64 {
+		return float64(st.Delivered)
+	})
+	ob.Reg.Gauge("traffic/inflight", func(sim.Time) float64 {
+		return float64(st.InFlight())
+	})
+	for _, c := range core.MsgClasses() {
+		c := c
+		ob.Reg.Gauge("traffic/inflight/"+c.String(), func(sim.Time) float64 {
+			return float64(st.ClassInFlight(c))
+		})
+	}
+	ob.Reg.Gauge("traffic/dropped", func(sim.Time) float64 {
+		return float64(st.Dropped)
+	})
+	ob.Reg.Gauge("traffic/retries", func(sim.Time) float64 {
+		return float64(st.Retries)
+	})
+	ob.Reg.Gauge("traffic/aborts", func(sim.Time) float64 {
+		return float64(st.Aborts)
+	})
+	ob.Reg.Gauge("traffic/arb_messages", func(sim.Time) float64 {
+		return float64(st.ArbMessages)
 	})
 }
 

@@ -127,6 +127,9 @@ type LoadPoint struct {
 	OfferedGBs float64
 	// Saturated marks points past the latency asymptote.
 	Saturated bool
+	// InFlight counts packets still undelivered at the drain cutoff; when
+	// large, the latency fields understate the truth (survivorship bias).
+	InFlight uint64
 }
 
 // RunLoadPoint simulates one point of figure 6: the named network under the
@@ -169,6 +172,7 @@ func fromLoadPoint(r harness.LoadPoint) LoadPoint {
 		ThroughputGBs: r.ThroughputGBs,
 		OfferedGBs:    r.OfferedGBs,
 		Saturated:     r.Saturated,
+		InFlight:      r.InFlight,
 	}
 }
 
