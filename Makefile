@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt staticcheck bench-smoke check figures report
+.PHONY: build test race vet fmt staticcheck bench-smoke bench-json bench-compare check figures report
 
 build:
 	$(GO) build ./...
@@ -35,11 +35,36 @@ staticcheck:
 # a benchmark that no longer builds or an allocation-guard regression that
 # panics, without timing noise.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'EngineSchedule|DisabledInstruments' -benchtime 1x ./internal/sim ./internal/metrics
+	$(GO) test -run '^$$' -bench 'EngineSchedule|EngineScheduleCall|DisabledInstruments' -benchtime 1x ./internal/sim ./internal/metrics
+
+# bench-json regenerates the committed kernel-performance baseline: the
+# per-network load-point benchmarks plus the miniature full sweep, captured
+# both in raw `go test -bench` form (BENCH_pr4.txt, for benchstat) and as
+# JSON (BENCH_pr4.json, for dashboards and PR-to-PR diffs).
+BENCH_COUNT ?= 5
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunLoadPoint|BenchmarkLoadSweep' \
+		-benchmem -count $(BENCH_COUNT) ./internal/harness | tee BENCH_pr4.txt
+	$(GO) run ./cmd/benchjson < BENCH_pr4.txt > BENCH_pr4.json
+
+# bench-compare reruns the load-point benchmarks quickly and benchstats them
+# against the committed baseline. Report-only: it never fails the build, and
+# it skips cleanly when benchstat (golang.org/x/perf/cmd/benchstat) is not
+# installed or no baseline is committed.
+bench-compare:
+	@if ! command -v benchstat >/dev/null 2>&1; then \
+		echo "benchstat not installed; skipping bench-compare (go install golang.org/x/perf/cmd/benchstat@latest)"; \
+	elif [ ! -f BENCH_pr4.txt ]; then \
+		echo "no BENCH_pr4.txt baseline; skipping bench-compare (make bench-json)"; \
+	else \
+		$(GO) test -run '^$$' -bench BenchmarkRunLoadPoint -benchmem -count 3 \
+			./internal/harness > /tmp/bench_head.txt 2>&1 || { cat /tmp/bench_head.txt; exit 0; }; \
+		benchstat BENCH_pr4.txt /tmp/bench_head.txt || true; \
+	fi
 
 # check is the pre-merge gate: vet + formatting + lint + tests + race
-# detector + benchmark smoke.
-check: vet fmt staticcheck test race bench-smoke
+# detector + benchmark smoke + report-only perf comparison.
+check: vet fmt staticcheck test race bench-smoke bench-compare
 
 figures:
 	$(GO) run ./cmd/figures -all

@@ -232,12 +232,50 @@ func (e *Engine) sendRequest(op *Op, t *tracker) {
 		Src: op.Requester, Dst: op.Home,
 		Bytes: e.p.CtrlMsgBytes, Class: core.ClassRequest,
 		OnDeliver: func(_ *core.Packet, _ sim.Time) {
-			// Directory lookup at the home.
-			e.eng.Schedule(e.p.Cycles(e.p.DirectoryLookupCycles), func() {
-				e.homeAction(op, t)
-			})
+			// Directory lookup at the home; the tracker rides the event arg
+			// so the per-request lookup delay schedules no closure.
+			e.eng.ScheduleCall(e.p.Cycles(e.p.DirectoryLookupCycles), (*lookupH)(e), sim.EventArg{Ptr: t})
 		},
 	})
+}
+
+// lookupH fires when the home's directory lookup completes for the tracker
+// in arg.Ptr; timeoutH fires that tracker's delivery-timeout check. Both are
+// named pointer types over Engine, keeping the per-operation event chain
+// closure-free.
+type lookupH Engine
+
+func (h *lookupH) OnEvent(_ *sim.Engine, arg sim.EventArg) {
+	e := (*Engine)(h)
+	t := arg.Ptr.(*tracker)
+	e.homeAction(t.op, t)
+}
+
+type timeoutH Engine
+
+func (h *timeoutH) OnEvent(_ *sim.Engine, arg sim.EventArg) {
+	e := (*Engine)(h)
+	t := arg.Ptr.(*tracker)
+	if t.done {
+		return
+	}
+	op := t.op
+	st := e.net.Stats()
+	if t.attempt >= e.p.CoherenceMaxRetries {
+		t.done = true
+		e.Aborted++
+		st.AddAbort()
+		e.releaseMSHR(int(op.Requester))
+		if op.OnComplete != nil {
+			op.OnComplete(e.eng.Now() - t.issued)
+		}
+		return
+	}
+	t.attempt++
+	e.Retries++
+	st.AddRetry()
+	e.sendRequest(op, t)
+	e.armTimeout(op, t)
 }
 
 // armTimeout schedules the delivery timeout for the tracker's current
@@ -249,27 +287,7 @@ func (e *Engine) armTimeout(op *Op, t *tracker) {
 	if e.p.CoherenceTimeoutCycles <= 0 {
 		return
 	}
-	e.eng.Schedule(e.backoff(t.attempt), func() {
-		if t.done {
-			return
-		}
-		st := e.net.Stats()
-		if t.attempt >= e.p.CoherenceMaxRetries {
-			t.done = true
-			e.Aborted++
-			st.AddAbort()
-			e.releaseMSHR(int(op.Requester))
-			if op.OnComplete != nil {
-				op.OnComplete(e.eng.Now() - t.issued)
-			}
-			return
-		}
-		t.attempt++
-		e.Retries++
-		st.AddRetry()
-		e.sendRequest(op, t)
-		e.armTimeout(op, t)
-	})
+	e.eng.ScheduleCall(e.backoff(t.attempt), (*timeoutH)(e), sim.EventArg{Ptr: t})
 }
 
 // backoff returns the timeout for the given attempt: base × 2^attempt,

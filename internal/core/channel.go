@@ -12,7 +12,11 @@ import (
 // unbounded queueing — the standard open-loop link model.
 type Channel struct {
 	psPerByte float64
-	nextFree  sim.Time
+	// effPsPerByte is psPerByte × derate, precomputed when the derate
+	// changes so the per-reservation hot path (SerializationTime/Reserve)
+	// multiplies once instead of twice.
+	effPsPerByte float64
+	nextFree     sim.Time
 	// busyPS accumulates occupied transmitter time for utilization
 	// reporting.
 	busyPS sim.Time
@@ -32,7 +36,8 @@ func NewChannel(gbPerSec float64) *Channel {
 		panic(fmt.Sprintf("core: channel bandwidth %v GB/s", gbPerSec))
 	}
 	// 1 GB/s = 1 byte/ns = 1e-3 byte/ps.
-	return &Channel{psPerByte: 1e3 / gbPerSec, derate: 1}
+	ps := 1e3 / gbPerSec
+	return &Channel{psPerByte: ps, effPsPerByte: ps, derate: 1}
 }
 
 // Derate scales serialization mid-run: a factor f ≥ 1 multiplies the
@@ -44,6 +49,7 @@ func (c *Channel) Derate(f float64) {
 		panic(fmt.Sprintf("core: channel derate factor %v < 1", f))
 	}
 	c.derate = f
+	c.effPsPerByte = c.psPerByte * f
 }
 
 // DerateFactor reports the active serialization multiplier (1 = nominal).
@@ -64,7 +70,7 @@ func (c *Channel) Failed() bool { return c.failed }
 // SerializationTime returns the time to clock `bytes` onto the channel at
 // the current (possibly derated) rate.
 func (c *Channel) SerializationTime(bytes int) sim.Time {
-	t := sim.Time(float64(bytes)*c.psPerByte*c.derate + 0.5)
+	t := sim.Time(float64(bytes)*c.effPsPerByte + 0.5)
 	if t < 1 {
 		t = 1
 	}

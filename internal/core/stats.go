@@ -89,6 +89,15 @@ func (s *Stats) StampInjection(p *Packet, now sim.Time) {
 	s.injectedPerClass[p.Class]++
 }
 
+// OnEvent implements sim.Handler: a scheduled delivery event for the packet
+// in arg.Ptr. Every network's hot path schedules deliveries through this
+// single handler (eng.ScheduleCall(delay, stats, sim.EventArg{Ptr: p})), so
+// the per-packet "record delivery later" pattern costs no closure. The
+// packet is handed over at dispatch: the handler must be the last holder.
+func (s *Stats) OnEvent(e *sim.Engine, arg sim.EventArg) {
+	s.RecordDelivery(arg.Ptr.(*Packet), e.Now())
+}
+
 // RecordDelivery notes a completed delivery at time `at` and invokes the
 // packet's OnDeliver callback.
 func (s *Stats) RecordDelivery(p *Packet, at sim.Time) {

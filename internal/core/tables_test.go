@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"macrochip/internal/geometry"
+)
+
+// TestPathTableMatchesFormulas pins the memoization contract: every table
+// entry must equal the formula it caches, bit for bit, for every ordered
+// site pair. The networks swap PropDelay/PathLossDB calls for table lookups
+// on the per-packet path; this is the test that makes that swap safe.
+func TestPathTableMatchesFormulas(t *testing.T) {
+	p := DefaultParams()
+	tbl := NewPathTable(p)
+	sites := p.Grid.Sites()
+	if tbl.Sites() != sites {
+		t.Fatalf("table sites = %d, want %d", tbl.Sites(), sites)
+	}
+	for a := 0; a < sites; a++ {
+		for b := 0; b < sites; b++ {
+			sa, sb := geometry.SiteID(a), geometry.SiteID(b)
+			if got, want := tbl.Delay(sa, sb), p.PropDelay(sa, sb); got != want {
+				t.Fatalf("Delay(%d,%d) = %v, want %v", a, b, got, want)
+			}
+			if got, want := tbl.LossDB(sa, sb), p.PathLossDB(sa, sb); got != want {
+				t.Fatalf("LossDB(%d,%d) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestPathTableSymmetry sanity-checks the cached geometry: L-route length
+// (and therefore delay and waveguide loss) is symmetric, the diagonal costs
+// nothing extra, and remote pairs are strictly slower than local ones.
+func TestPathTableSymmetry(t *testing.T) {
+	p := DefaultParams()
+	tbl := NewPathTable(p)
+	sites := p.Grid.Sites()
+	for a := 0; a < sites; a++ {
+		for b := 0; b < sites; b++ {
+			sa, sb := geometry.SiteID(a), geometry.SiteID(b)
+			if tbl.Delay(sa, sb) != tbl.Delay(sb, sa) {
+				t.Fatalf("Delay(%d,%d) != Delay(%d,%d)", a, b, b, a)
+			}
+			if a != b && tbl.Delay(sa, sb) <= tbl.Delay(sa, sa) {
+				t.Fatalf("remote Delay(%d,%d)=%v not greater than diagonal %v",
+					a, b, tbl.Delay(sa, sb), tbl.Delay(sa, sa))
+			}
+		}
+	}
+}

@@ -110,12 +110,22 @@ func (n *Network) Inject(p *core.Packet) {
 			now := n.eng.Now()
 			_, end := n.frontend[src].Reserve(now, p.Bytes)
 			if end > now {
-				n.eng.Schedule(end-now, func() { n.inner.Inject(p) })
+				n.eng.ScheduleCall(end-now, (*delayedInject)(n), sim.EventArg{Ptr: p})
 				return
 			}
 		}
 	}
 	n.inner.Inject(p)
+}
+
+// delayedInject re-injects a packet into the wrapped network after it
+// serialized through a detuned site's front-end — the closure-free form of
+// the delayed-entry event.
+type delayedInject Network
+
+func (h *delayedInject) OnEvent(_ *sim.Engine, arg sim.EventArg) {
+	n := (*Network)(h)
+	n.inner.Inject(arg.Ptr.(*core.Packet))
 }
 
 func (n *Network) drop(p *core.Packet, c Class) {

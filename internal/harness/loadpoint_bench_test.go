@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"testing"
+
+	"macrochip/internal/networks"
+	"macrochip/internal/sim"
+	"macrochip/internal/traffic"
+)
+
+// benchLoadPointConfig is a small-but-representative figure-6 point: uniform
+// traffic at 5% of site bandwidth, short warmup/measure windows so one
+// iteration stays in the tens of milliseconds on every network (5% keeps
+// even the quickly-saturating circuit-switched and token-ring designs from
+// growing pathological queues, so the benchmark measures dispatch cost, not
+// queue churn).
+func benchLoadPointConfig(kind networks.Kind) LoadPointConfig {
+	cfg := DefaultLoadPointConfig()
+	cfg.Network = kind
+	cfg.Pattern = traffic.Uniform{Grid: cfg.Params.Grid}
+	cfg.Load = 0.05
+	cfg.Warmup = 250 * sim.Nanosecond
+	cfg.Measure = 1 * sim.Microsecond
+	cfg.Seed = 1
+	return cfg
+}
+
+// BenchmarkRunLoadPoint times one load-sweep simulation per network — the
+// inner loop of every figure-6 sweep and saturation search. The committed
+// BENCH_pr4.json baseline pins these numbers; regenerate it with
+// `make bench-json` and compare with `make bench-compare`.
+func BenchmarkRunLoadPoint(b *testing.B) {
+	for _, k := range networks.Six() {
+		cfg := benchLoadPointConfig(k)
+		b.Run(string(k), func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				pt := RunLoadPoint(cfg)
+				events += pt.Events
+			}
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(events)/s, "events/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkLoadSweep times a miniature full sweep — all six networks across
+// a four-point load grid, run serially so the number measures single-run
+// dispatch cost rather than scheduler luck.
+func BenchmarkLoadSweep(b *testing.B) {
+	loads := []float64{0.01, 0.02, 0.04, 0.05}
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		for _, k := range networks.Six() {
+			cfg := benchLoadPointConfig(k)
+			for _, load := range loads {
+				cfg.Load = load
+				cfg.Seed = PointSeed(1, k, "uniform", load)
+				pt := RunLoadPoint(cfg)
+				events += pt.Events
+			}
+		}
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s, "events/sec")
+	}
+}

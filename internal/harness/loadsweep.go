@@ -54,6 +54,10 @@ type LoadPoint struct {
 	// column is large — report it rather than pretending the sample is
 	// complete.
 	InFlight uint64
+	// Events is the number of kernel events the simulation dispatched — the
+	// denominator of the events/sec throughput the benchmark baseline
+	// tracks. Not written to the figure-6 CSV.
+	Events uint64
 }
 
 // DefaultLoadPointConfig fills the standard figure-6 settings.
@@ -116,6 +120,7 @@ func RunLoadPoint(cfg LoadPointConfig) LoadPoint {
 		Saturated:     thru < 0.90*offered,
 		Delivered:     stats.Delivered,
 		InFlight:      stats.InFlight(),
+		Events:        eng.Executed(),
 	}
 }
 

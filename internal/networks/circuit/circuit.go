@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"macrochip/internal/core"
+	"macrochip/internal/geometry"
 	"macrochip/internal/metrics"
 	"macrochip/internal/sim"
 )
@@ -42,6 +43,15 @@ type Network struct {
 	landing []*core.Channel
 
 	ctrlHop sim.Time
+
+	// Hot-path precomputation: intra-site loop-back latency, the circuit
+	// data ps/byte factor (1e3/CircuitDataGBs — exactly representable for
+	// the shipped bandwidths), the torus hop count per ordered site pair
+	// (flat row-major), and the data propagation delay per hop count.
+	intraDelay    sim.Time
+	dataPsPerByte float64
+	torusHops     []int
+	hopProp       []sim.Time
 
 	// Optional trace instrumentation (see Instrument).
 	tr        *metrics.Tracer
@@ -67,6 +77,23 @@ func New(eng *sim.Engine, p core.Params, stats *core.Stats) *Network {
 		n.landing[s] = core.NewChannel(float64(p.TxPerSite/p.WavelengthsPerWaveguide) * p.CircuitDataGBs)
 	}
 	n.ctrlHop = n.controlHopLatency()
+	n.intraDelay = p.Cycles(p.IntraSiteCycles)
+	n.dataPsPerByte = 1e3 / p.CircuitDataGBs
+	n.torusHops = make([]int, sites*sites)
+	maxHops := 0
+	for a := 0; a < sites; a++ {
+		for b := 0; b < sites; b++ {
+			h := p.Grid.TorusHops(geometry.SiteID(a), geometry.SiteID(b))
+			n.torusHops[a*sites+b] = h
+			if h > maxHops {
+				maxHops = h
+			}
+		}
+	}
+	n.hopProp = make([]sim.Time, maxHops+1)
+	for h := 0; h <= maxHops; h++ {
+		n.hopProp[h] = sim.FromNanoseconds(float64(h) * p.Grid.TorusHopCM() * p.Comp.PropagationNSPerCM)
+	}
 	return n
 }
 
@@ -95,9 +122,7 @@ func (n *Network) Inject(p *core.Packet) {
 	now := n.eng.Now()
 	n.stats.StampInjection(p, now)
 	if p.Src == p.Dst {
-		n.eng.Schedule(n.p.Cycles(n.p.IntraSiteCycles), func() {
-			n.stats.RecordDelivery(p, n.eng.Now())
-		})
+		n.eng.ScheduleCall(n.intraDelay, n.stats, sim.EventArg{Ptr: p})
 		return
 	}
 	s := int(p.Src)
@@ -112,7 +137,7 @@ func (n *Network) Inject(p *core.Packet) {
 // startCircuit runs the full setup → data → release sequence for p.
 func (n *Network) startCircuit(p *core.Packet) {
 	now := n.eng.Now()
-	hops := n.p.Grid.TorusHops(p.Src, p.Dst)
+	hops := n.torusHops[int(p.Src)*len(n.slots)+int(p.Dst)]
 	// Setup flit out plus acknowledgment back; each hop is one control
 	// message (counted for the arbitration/control energy bookkeeping).
 	setup := sim.Time(2*hops) * n.ctrlHop
@@ -121,7 +146,7 @@ func (n *Network) startCircuit(p *core.Packet) {
 		n.stats.AddOpticalTraversal(n.p.CircuitCtrlFlitBytes)
 	}
 	dataStart := now + setup
-	ser := sim.Time(float64(p.Bytes)*1e3/n.p.CircuitDataGBs + 0.5)
+	ser := sim.Time(float64(p.Bytes)*n.dataPsPerByte + 0.5)
 	// The landing channel bounds the destination's aggregate receive rate;
 	// under hotspot traffic circuits queue on the destination's inbound
 	// waveguides.
@@ -130,7 +155,7 @@ func (n *Network) startCircuit(p *core.Packet) {
 	if min := dataStart + ser; dataEnd < min {
 		dataEnd = min
 	}
-	prop := sim.FromNanoseconds(float64(hops) * n.p.Grid.TorusHopCM() * n.p.Comp.PropagationNSPerCM)
+	prop := n.hopProp[hops]
 	n.stats.AddOpticalTraversal(p.Bytes)
 	n.setups.Inc()
 	if n.tr != nil {
@@ -138,12 +163,18 @@ func (n *Network) startCircuit(p *core.Packet) {
 		n.tr.Span(tk, "arb", "setup", now, dataStart)
 		n.tr.Span(tk, "chan", "data", dataStart, dataEnd)
 	}
-	n.eng.Schedule(dataEnd+prop-now, func() {
-		n.stats.RecordDelivery(p, n.eng.Now())
-	})
+	n.eng.ScheduleCall(dataEnd+prop-now, n.stats, sim.EventArg{Ptr: p})
 	// The circuit engine frees once the data has left the source; the
 	// teardown flits chase the tail of the data.
-	n.eng.Schedule(dataEnd-now, func() { n.releaseSlot(int(p.Src)) })
+	n.eng.ScheduleCall(dataEnd-now, (*releaseH)(n), sim.EventArg{A: uint64(p.Src)})
+}
+
+// releaseH frees a circuit engine at the source gateway in arg.A — the
+// closure-free form of the slot-release event.
+type releaseH Network
+
+func (h *releaseH) OnEvent(_ *sim.Engine, arg sim.EventArg) {
+	(*Network)(h).releaseSlot(int(arg.A))
 }
 
 // releaseSlot frees a circuit engine and starts the next pending transfer.

@@ -26,6 +26,11 @@ type Network struct {
 	stats *core.Stats
 	// chans[src][dst] exists only for row/column peers.
 	chans [][]*core.Channel
+	// paths memoizes per-pair propagation delays and link budgets;
+	// intraDelay and routerDelay are the fixed per-hop latencies.
+	paths       *core.PathTable
+	intraDelay  sim.Time
+	routerDelay sim.Time
 
 	// Optional trace instrumentation (see Instrument).
 	tr        *metrics.Tracer
@@ -48,7 +53,15 @@ func New(eng *sim.Engine, p core.Params, stats *core.Stats) *Network {
 			}
 		}
 	}
-	return &Network{eng: eng, p: p, stats: stats, chans: chans}
+	return &Network{
+		eng:         eng,
+		p:           p,
+		stats:       stats,
+		chans:       chans,
+		paths:       core.NewPathTable(p),
+		intraDelay:  p.Cycles(p.IntraSiteCycles),
+		routerDelay: p.Cycles(p.RouterCycles),
+	}
 }
 
 // Name implements core.Network.
@@ -76,9 +89,7 @@ func (n *Network) Inject(p *core.Packet) {
 	n.stats.StampInjection(p, now)
 	switch {
 	case p.Src == p.Dst:
-		n.eng.Schedule(n.p.Cycles(n.p.IntraSiteCycles), func() {
-			n.stats.RecordDelivery(p, n.eng.Now())
-		})
+		n.eng.ScheduleCall(n.intraDelay, n.stats, sim.EventArg{Ptr: p})
 	case n.IsPeer(p.Src, p.Dst):
 		n.sendLeg(p, p.Src, p.Dst, true)
 	default:
@@ -94,28 +105,45 @@ func (n *Network) Inject(p *core.Packet) {
 	}
 }
 
+// routerArrive handles the first leg landing at the forwarding site (arg.A):
+// O-E conversion, the electronic router hop, then the forwarding leg. Named
+// pointer types over Network keep the per-packet chain closure-free.
+type routerArrive Network
+
+func (h *routerArrive) OnEvent(e *sim.Engine, arg sim.EventArg) {
+	n := (*Network)(h)
+	p := arg.Ptr.(*core.Packet)
+	// O-E conversion + 7×7 router hop (1 cycle) + E-O conversion.
+	p.Hops++
+	n.stats.AddRouterBytes(p.Bytes)
+	if n.tr != nil {
+		at := e.Now()
+		n.tr.Span(n.siteTrack[arg.A], "router", "route", at, at+n.routerDelay)
+	}
+	e.ScheduleCall(n.routerDelay, (*routerForward)(n), arg)
+}
+
+// routerForward handles the router hop completing: the packet re-enters the
+// optical domain on the forwarder's direct channel to the destination.
+type routerForward Network
+
+func (h *routerForward) OnEvent(_ *sim.Engine, arg sim.EventArg) {
+	n := (*Network)(h)
+	p := arg.Ptr.(*core.Packet)
+	n.sendLeg(p, geometry.SiteID(arg.A), p.Dst, true)
+}
+
 // sendVia transmits p to forwarder f, applies the electronic hop, then
 // forwards to the destination.
 func (n *Network) sendVia(p *core.Packet, f geometry.SiteID) {
 	now := n.eng.Now()
 	start, end := n.chans[p.Src][f].Reserve(now, p.Bytes)
-	arrive := end + n.p.PropDelay(p.Src, f)
+	arrive := end + n.paths.Delay(p.Src, f)
 	n.stats.AddOpticalTraversal(p.Bytes)
 	if n.tr != nil {
 		n.tr.Span(n.siteTrack[p.Src], "chan", "serialize", start, end)
 	}
-	n.eng.Schedule(arrive-now, func() {
-		// O-E conversion + 7×7 router hop (1 cycle) + E-O conversion.
-		p.Hops++
-		n.stats.AddRouterBytes(p.Bytes)
-		if n.tr != nil {
-			at := n.eng.Now()
-			n.tr.Span(n.siteTrack[f], "router", "route", at, at+n.p.Cycles(n.p.RouterCycles))
-		}
-		n.eng.Schedule(n.p.Cycles(n.p.RouterCycles), func() {
-			n.sendLeg(p, f, p.Dst, true)
-		})
-	})
+	n.eng.ScheduleCall(arrive-now, (*routerArrive)(n), sim.EventArg{Ptr: p, A: uint64(f)})
 }
 
 // sendLeg transmits p over the direct channel from a to b and, if final,
@@ -123,16 +151,14 @@ func (n *Network) sendVia(p *core.Packet, f geometry.SiteID) {
 func (n *Network) sendLeg(p *core.Packet, a, b geometry.SiteID, final bool) {
 	now := n.eng.Now()
 	start, end := n.chans[a][b].Reserve(now, p.Bytes)
-	arrive := end + n.p.PropDelay(a, b)
+	arrive := end + n.paths.Delay(a, b)
 	n.stats.AddOpticalTraversal(p.Bytes)
 	if n.tr != nil {
 		n.tr.Span(n.siteTrack[a], "chan", "serialize", start, end)
 	}
-	n.eng.Schedule(arrive-now, func() {
-		if final {
-			n.stats.RecordDelivery(p, n.eng.Now())
-		}
-	})
+	if final {
+		n.eng.ScheduleCall(arrive-now, n.stats, sim.EventArg{Ptr: p})
+	}
 }
 
 // Instrument implements metrics.Instrumentable: utilization/backlog gauges

@@ -16,6 +16,7 @@ import (
 	"macrochip/internal/core"
 	"macrochip/internal/geometry"
 	"macrochip/internal/metrics"
+	"macrochip/internal/photonics"
 	"macrochip/internal/sim"
 )
 
@@ -26,6 +27,10 @@ type Network struct {
 	stats *core.Stats
 	// chans[src][dst] is the dedicated channel; nil on the diagonal.
 	chans [][]*core.Channel
+	// paths memoizes per-pair propagation delays and link budgets.
+	paths *core.PathTable
+	// intraDelay is the single-cycle loop-back latency, precomputed.
+	intraDelay sim.Time
 
 	// tr and siteTrack carry optional trace instrumentation (nil/empty when
 	// disabled; see Instrument).
@@ -45,7 +50,14 @@ func New(eng *sim.Engine, p core.Params, stats *core.Stats) *Network {
 			}
 		}
 	}
-	return &Network{eng: eng, p: p, stats: stats, chans: chans}
+	return &Network{
+		eng:        eng,
+		p:          p,
+		stats:      stats,
+		chans:      chans,
+		paths:      core.NewPathTable(p),
+		intraDelay: p.Cycles(p.IntraSiteCycles),
+	}
 }
 
 // Name implements core.Network.
@@ -56,24 +68,21 @@ func (n *Network) Stats() *core.Stats { return n.stats }
 
 // Inject implements core.Network: the packet serializes on its dedicated
 // channel and arrives one propagation delay after its last byte leaves.
+// Deliveries schedule through the Stats handler (closure-free hot path).
 func (n *Network) Inject(p *core.Packet) {
 	now := n.eng.Now()
 	n.stats.StampInjection(p, now)
 	if p.Src == p.Dst {
-		n.eng.Schedule(n.p.Cycles(n.p.IntraSiteCycles), func() {
-			n.stats.RecordDelivery(p, n.eng.Now())
-		})
+		n.eng.ScheduleCall(n.intraDelay, n.stats, sim.EventArg{Ptr: p})
 		return
 	}
 	start, end := n.chans[p.Src][p.Dst].Reserve(now, p.Bytes)
-	arrive := end + n.p.PropDelay(p.Src, p.Dst)
+	arrive := end + n.paths.Delay(p.Src, p.Dst)
 	n.stats.AddOpticalTraversal(p.Bytes)
 	if n.tr != nil {
 		n.tr.Span(n.siteTrack[p.Src], "chan", "serialize", start, end)
 	}
-	n.eng.Schedule(arrive-now, func() {
-		n.stats.RecordDelivery(p, n.eng.Now())
-	})
+	n.eng.ScheduleCall(arrive-now, n.stats, sim.EventArg{Ptr: p})
 }
 
 // Instrument implements metrics.Instrumentable: per-channel utilization
@@ -114,4 +123,11 @@ func (n *Network) ChannelUtilization(src, dst geometry.SiteID, elapsed sim.Time)
 		return 0
 	}
 	return n.chans[src][dst].Utilization(elapsed)
+}
+
+// PathLossDB reports the memoized unswitched link budget of the src→dst
+// channel's route (the network's per-pair photonic loss; its table-5 extra
+// loss is zero, so this is the whole budget).
+func (n *Network) PathLossDB(src, dst geometry.SiteID) photonics.DB {
+	return n.paths.LossDB(src, dst)
 }

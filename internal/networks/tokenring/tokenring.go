@@ -53,6 +53,16 @@ type Network struct {
 	ringPos   []int             // site -> ring position
 	hop       sim.Time          // token time per ring position
 
+	// Hot-path precomputation: the intra-site loop-back latency, the
+	// bundle's ps/byte factor (1e3/TokenBundleGBs — exactly representable
+	// for the shipped bandwidths, so per-packet multiply matches the old
+	// divide bit-for-bit), the one-cycle minimum slot, and the data
+	// propagation delay indexed by ring distance.
+	intraDelay      sim.Time
+	bundlePsPerByte float64
+	minSlot         sim.Time
+	ringDelay       []sim.Time
+
 	// queues[dst][ringPos(src)] is the per-source FIFO of packets bound for
 	// dst.
 	queues [][][]*core.Packet
@@ -69,14 +79,22 @@ type Network struct {
 func New(eng *sim.Engine, p core.Params, stats *core.Stats) *Network {
 	sites := p.Grid.Sites()
 	n := &Network{
-		eng:       eng,
-		p:         p,
-		stats:     stats,
-		ringOrder: p.Grid.RingPositions(),
-		ringPos:   p.Grid.RingIndex(),
-		hop:       p.Cycles(p.TokenRoundTripCycles) / sim.Time(sites),
-		queues:    make([][][]*core.Packet, sites),
-		tokens:    make([]*token, sites),
+		eng:             eng,
+		p:               p,
+		stats:           stats,
+		ringOrder:       p.Grid.RingPositions(),
+		ringPos:         p.Grid.RingIndex(),
+		hop:             p.Cycles(p.TokenRoundTripCycles) / sim.Time(sites),
+		intraDelay:      p.Cycles(p.IntraSiteCycles),
+		bundlePsPerByte: 1e3 / p.TokenBundleGBs,
+		minSlot:         p.Cycles(1),
+		ringDelay:       make([]sim.Time, sites),
+		queues:          make([][][]*core.Packet, sites),
+		tokens:          make([]*token, sites),
+	}
+	for k := 0; k < sites; k++ {
+		ns := float64(k) * p.Grid.PitchCM * p.Comp.PropagationNSPerCM
+		n.ringDelay[k] = sim.FromNanoseconds(ns)
 	}
 	for d := 0; d < sites; d++ {
 		n.queues[d] = make([][]*core.Packet, sites)
@@ -97,9 +115,7 @@ func (n *Network) Inject(p *core.Packet) {
 	now := n.eng.Now()
 	n.stats.StampInjection(p, now)
 	if p.Src == p.Dst {
-		n.eng.Schedule(n.p.Cycles(n.p.IntraSiteCycles), func() {
-			n.stats.RecordDelivery(p, n.eng.Now())
-		})
+		n.eng.ScheduleCall(n.intraDelay, n.stats, sim.EventArg{Ptr: p})
 		return
 	}
 	d := int(p.Dst)
@@ -145,8 +161,16 @@ func (n *Network) consider(d, w int) {
 	tk.grantPos = w
 	tk.grantTime = t
 	tk.epoch++
-	epoch := tk.epoch
-	n.eng.Schedule(t-now, func() { n.grant(d, epoch) })
+	n.eng.ScheduleCall(t-now, (*grantH)(n), sim.EventArg{A: uint64(d), B: tk.epoch})
+}
+
+// grantH dispatches a pending token grant: destination index in arg.A, the
+// grant epoch in arg.B. A named pointer type over Network keeps the
+// arbitration hot path closure-free.
+type grantH Network
+
+func (h *grantH) OnEvent(_ *sim.Engine, arg sim.EventArg) {
+	(*Network)(h).grant(int(arg.A), arg.B)
 }
 
 // grant fires when the token reaches its target: the site transmits one
@@ -174,13 +198,11 @@ func (n *Network) grant(d int, epoch uint64) {
 		burst = len(q)
 	}
 	hold := sim.Time(0)
-	bundle := n.p.TokenBundleGBs
-	minSlot := n.p.Cycles(1)
 	for i := 0; i < burst; i++ {
 		p := q[i]
-		ser := sim.Time(float64(p.Bytes)*1e3/bundle + 0.5)
-		if ser < minSlot {
-			ser = minSlot
+		ser := sim.Time(float64(p.Bytes)*n.bundlePsPerByte + 0.5)
+		if ser < n.minSlot {
+			ser = n.minSlot
 		}
 		launch := now + hold
 		hold += ser
@@ -191,10 +213,7 @@ func (n *Network) grant(d int, epoch uint64) {
 			n.tr.Span(src, "arb", "token-wait", p.Born, launch)
 			n.tr.Span(src, "chan", "tx", launch, launch+ser)
 		}
-		pp := p
-		n.eng.Schedule(arrive-now, func() {
-			n.stats.RecordDelivery(pp, n.eng.Now())
-		})
+		n.eng.ScheduleCall(arrive-now, n.stats, sim.EventArg{Ptr: p})
 	}
 	n.queues[d][w] = q[burst:]
 	if len(n.queues[d][w]) == 0 {
@@ -238,11 +257,10 @@ func (n *Network) release(d, pos int, t sim.Time) {
 
 // ringPropDelay is the data propagation time from ring position a to b along
 // the destination bundle (data travels the same serpentine route as the
-// token but at light speed, one site pitch per position).
+// token but at light speed, one site pitch per position). The per-distance
+// delays are memoized in ringDelay at construction.
 func (n *Network) ringPropDelay(a, b int) sim.Time {
-	k := n.p.Grid.RingDist(a, b)
-	ns := float64(k) * n.p.Grid.PitchCM * n.p.Comp.PropagationNSPerCM
-	return sim.FromNanoseconds(ns)
+	return n.ringDelay[n.p.Grid.RingDist(a, b)]
 }
 
 // Instrument implements metrics.Instrumentable: per-destination queue-depth

@@ -70,6 +70,10 @@ type Network struct {
 
 	// arbLead is the fixed phase-1+phase-2 pipeline latency.
 	arbLead sim.Time
+	// paths memoizes per-pair propagation delays; intraDelay is the
+	// single-cycle loop-back latency.
+	paths      *core.PathTable
+	intraDelay sim.Time
 
 	// WastedSlots counts grants lost to switch-tree contention.
 	WastedSlots uint64
@@ -113,6 +117,8 @@ func build(eng *sim.Engine, p core.Params, stats *core.Stats, alt bool) *Network
 		}
 	}
 	n.arbLead = n.arbitrationLead()
+	n.paths = core.NewPathTable(p)
+	n.intraDelay = p.Cycles(p.IntraSiteCycles)
 	return n
 }
 
@@ -154,9 +160,7 @@ func (n *Network) Inject(p *core.Packet) {
 	now := n.eng.Now()
 	n.stats.StampInjection(p, now)
 	if p.Src == p.Dst {
-		n.eng.Schedule(n.p.Cycles(n.p.IntraSiteCycles), func() {
-			n.stats.RecordDelivery(p, n.eng.Now())
-		})
+		n.eng.ScheduleCall(n.intraDelay, n.stats, sim.EventArg{Ptr: p})
 		return
 	}
 	cq := n.cols[p.Src][n.p.Grid.Col(p.Dst)]
@@ -194,7 +198,28 @@ func (n *Network) request(p *core.Packet) {
 	if n.tr != nil {
 		n.tr.Span(n.siteTrack[p.Src], "arb", "arbitrate", now, dataStart)
 	}
-	n.eng.Schedule(dataStart-now, func() { n.slotGranted(p, dataStart) })
+	n.eng.ScheduleCall(dataStart-now, (*grantH)(n), sim.EventArg{Ptr: p, A: uint64(dataStart)})
+}
+
+// grantH fires slotGranted for the packet in arg.Ptr at the slot start time
+// in arg.A; deliverH completes the transfer — both are named pointer types
+// over Network so the per-packet arbitration chain allocates no closures.
+type grantH Network
+
+func (h *grantH) OnEvent(_ *sim.Engine, arg sim.EventArg) {
+	(*Network)(h).slotGranted(arg.Ptr.(*core.Packet), sim.Time(arg.A))
+}
+
+type deliverH Network
+
+func (h *deliverH) OnEvent(e *sim.Engine, arg sim.EventArg) {
+	n := (*Network)(h)
+	p := arg.Ptr.(*core.Packet)
+	col := n.p.Grid.Col(p.Dst)
+	cq := n.cols[p.Src][col]
+	cq.inFlight--
+	n.stats.RecordDelivery(p, e.Now())
+	n.issue(p.Src, col)
 }
 
 // slotGranted fires at the packet's data slot. If one of the sender's
@@ -207,17 +232,12 @@ func (n *Network) slotGranted(p *core.Packet, start sim.Time) {
 	for i := range trees {
 		if trees[i] <= start {
 			trees[i] = start + slotLen
-			arrive := start + slotLen + n.p.PropDelay(p.Src, p.Dst)
+			arrive := start + slotLen + n.paths.Delay(p.Src, p.Dst)
 			n.stats.AddOpticalTraversal(p.Bytes)
 			if n.tr != nil {
 				n.tr.Span(n.siteTrack[p.Src], "chan", "data", start, start+slotLen)
 			}
-			n.eng.Schedule(arrive-n.eng.Now(), func() {
-				cq := n.cols[p.Src][col]
-				cq.inFlight--
-				n.stats.RecordDelivery(p, n.eng.Now())
-				n.issue(p.Src, col)
-			})
+			n.eng.ScheduleCall(arrive-n.eng.Now(), (*deliverH)(n), sim.EventArg{Ptr: p})
 			return
 		}
 	}

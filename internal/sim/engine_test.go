@@ -172,8 +172,9 @@ func TestEngineStopInsideEventHaltsRunUntil(t *testing.T) {
 }
 
 func TestEngineEventPoolingAllocationFree(t *testing.T) {
-	// Once the free list is primed, schedule/run cycles must recycle event
-	// structs instead of allocating fresh ones.
+	// Once the queue slice has grown to its working capacity, schedule/run
+	// cycles must reuse it — the value-typed queue has no per-event
+	// allocation to make.
 	e := NewEngine()
 	fn := func() {}
 	burst := func() {
@@ -182,29 +183,31 @@ func TestEngineEventPoolingAllocationFree(t *testing.T) {
 		}
 		e.Run()
 	}
-	burst() // prime the pool and the heap/free-list capacity
+	burst() // prime the queue capacity
 	allocs := testing.AllocsPerRun(100, burst)
 	if allocs > 0 {
 		t.Fatalf("schedule/run burst allocated %.1f per iteration, want 0", allocs)
 	}
 }
 
-func TestEngineFreeListReusesStructs(t *testing.T) {
-	// White-box: after running one event, scheduling another must pull the
-	// same struct off the free list.
+func TestEngineQueueReusesCapacity(t *testing.T) {
+	// White-box: dispatching must shrink the live queue without releasing
+	// its backing array, and the vacated slot must be zeroed so it cannot
+	// pin dead callbacks.
 	e := NewEngine()
 	e.Schedule(0, func() {})
-	first := e.events[0]
+	e.Schedule(1, func() {})
 	e.Run()
-	if len(e.free) != 1 || e.free[0] != first {
-		t.Fatal("executed event did not land on the free list")
+	if len(e.events) != 0 {
+		t.Fatalf("queue length = %d after Run, want 0", len(e.events))
 	}
-	e.Schedule(0, func() {})
-	if e.events[0] != first {
-		t.Fatal("Schedule allocated a fresh struct with a non-empty free list")
+	if cap(e.events) < 2 {
+		t.Fatalf("queue capacity = %d after Run, want >= 2 (backing array retained)", cap(e.events))
 	}
-	if len(e.free) != 0 {
-		t.Fatalf("free list length = %d after reuse, want 0", len(e.free))
+	for _, ev := range e.events[:cap(e.events)] {
+		if ev.fn != nil || ev.h != nil || ev.arg.Ptr != nil {
+			t.Fatal("vacated queue slot still holds callback references")
+		}
 	}
 }
 

@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// --- (time, seq) dispatch-order property ---------------------------------
+
+// refEvent is the sort-based reference model: the queue must dispatch any
+// schedule in exactly ascending (time, seq) order.
+type refEvent struct {
+	at  Time
+	seq int
+}
+
+// TestQueueDispatchOrderProperty drives randomized schedules — duplicate
+// timestamps included — through the engine and checks the dispatch sequence
+// against a stable sort on (time, insertion order). Roughly half the events
+// also schedule a follow-up from inside their own dispatch, covering the
+// schedule-during-dispatch path where the 4-ary sift interleaves with pops.
+func TestQueueDispatchOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		e := NewEngine()
+		var want []refEvent
+		var got []refEvent
+		seq := 0
+		// record returns the callback for reference event id, optionally
+		// scheduling a child event when it runs.
+		var add func(at Time, nested bool)
+		add = func(at Time, nested bool) {
+			id := seq
+			seq++
+			want = append(want, refEvent{at: at, seq: id})
+			e.At(at, func() {
+				got = append(got, refEvent{at: e.Now(), seq: id})
+				if nested {
+					// Child at a delay drawn from the same small range so
+					// it collides with already-queued timestamps.
+					add(e.Now()+Time(rng.Intn(4)), false)
+				}
+			})
+		}
+		n := 1 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			// Small timestamp range forces many exact ties.
+			add(Time(rng.Intn(8)), rng.Intn(2) == 0)
+		}
+		e.Run()
+		// The engine assigns seq in At/CallAt order, and nested adds happen
+		// in dispatch order, so insertion order in `want` matches engine
+		// sequence order. Stable-sort by time only: ties stay in insertion
+		// order, which is exactly the (time, seq) contract.
+		sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: dispatched %d events, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: dispatch[%d] = %+v, want %+v (full got=%v want=%v)",
+					trial, i, got[i], want[i], got, want)
+			}
+		}
+	}
+}
+
+// --- RunUntil peek contract ----------------------------------------------
+
+func TestRunUntilEmptyQueue(t *testing.T) {
+	// Peeking an empty queue must not panic, and the clock must advance to
+	// the deadline.
+	e := NewEngine()
+	if end := e.RunUntil(100); end != 100 || e.Now() != 100 {
+		t.Fatalf("RunUntil(100) on empty queue = %v (Now %v), want 100", end, e.Now())
+	}
+	// A second call with an earlier deadline is a no-op.
+	if end := e.RunUntil(50); end != 100 {
+		t.Fatalf("RunUntil(50) after advancing to 100 = %v, want 100", end)
+	}
+}
+
+func TestRunUntilLeavesFutureEventsQueued(t *testing.T) {
+	// The head peek must stop the loop at the first event past the deadline
+	// without popping it.
+	e := NewEngine()
+	ran := 0
+	e.Schedule(10, func() { ran++ })
+	e.Schedule(200, func() { ran++ })
+	e.RunUntil(100)
+	if ran != 1 || e.Pending() != 1 {
+		t.Fatalf("ran=%d pending=%d after RunUntil(100), want 1/1", ran, e.Pending())
+	}
+	if e.events[0].at != 200 {
+		t.Fatalf("queue head at %v, want 200 (future event must stay queued)", e.events[0].at)
+	}
+	e.RunUntil(300)
+	if ran != 2 || e.Pending() != 0 {
+		t.Fatalf("ran=%d pending=%d after RunUntil(300), want 2/0", ran, e.Pending())
+	}
+}
+
+func TestRunUntilStopInsideScheduleCall(t *testing.T) {
+	// Stop fired from inside a handler must halt RunUntil exactly like the
+	// closure path: later events stay pending, the clock stays put.
+	e := NewEngine()
+	h := &recordingHandler{}
+	e.ScheduleCall(10, h, EventArg{A: 1})
+	e.ScheduleCall(20, stopHandler{}, EventArg{})
+	e.ScheduleCall(30, h, EventArg{A: 2})
+	end := e.RunUntil(100)
+	if end != 20 || e.Now() != 20 {
+		t.Fatalf("stopped at %v (Now %v), want 20", end, e.Now())
+	}
+	if len(h.calls) != 1 || h.calls[0].A != 1 {
+		t.Fatalf("handler calls before Stop = %+v, want just A=1", h.calls)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d after Stop, want 1", e.Pending())
+	}
+	e.RunUntil(100)
+	if len(h.calls) != 2 || h.calls[1].A != 2 {
+		t.Fatalf("handler calls after resume = %+v, want A=1,2", h.calls)
+	}
+}
+
+// --- closure-free scheduling API -----------------------------------------
+
+type recordingHandler struct {
+	calls []EventArg
+	times []Time
+}
+
+func (h *recordingHandler) OnEvent(e *Engine, arg EventArg) {
+	h.calls = append(h.calls, arg)
+	h.times = append(h.times, e.Now())
+}
+
+type stopHandler struct{}
+
+func (stopHandler) OnEvent(e *Engine, _ EventArg) { e.Stop() }
+
+func TestScheduleCallDelivery(t *testing.T) {
+	e := NewEngine()
+	h := &recordingHandler{}
+	payload := &struct{ v int }{v: 7}
+	e.ScheduleCall(5, h, EventArg{Ptr: payload, A: 42, B: 99})
+	e.Run()
+	if len(h.calls) != 1 {
+		t.Fatalf("handler ran %d times, want 1", len(h.calls))
+	}
+	got := h.calls[0]
+	if got.Ptr != payload || got.A != 42 || got.B != 99 {
+		t.Fatalf("arg = %+v, want Ptr=payload A=42 B=99", got)
+	}
+	if h.times[0] != 5 {
+		t.Fatalf("handler ran at %v, want 5", h.times[0])
+	}
+}
+
+func TestScheduleCallInterleavesWithSchedule(t *testing.T) {
+	// Closure events and handler events share one (time, seq) order.
+	e := NewEngine()
+	var order []int
+	h := &recordingHandler{}
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.ScheduleCall(10, h, EventArg{A: 2})
+	e.Schedule(10, func() { order = append(order, 3) })
+	e.ScheduleCall(5, h, EventArg{A: 0})
+	e.Run()
+	if len(h.calls) != 2 || h.calls[0].A != 0 || h.calls[1].A != 2 {
+		t.Fatalf("handler order = %+v, want A=0 then A=2", h.calls)
+	}
+	if h.times[0] != 5 || h.times[1] != 10 {
+		t.Fatalf("handler times = %v, want [5 10]", h.times)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("closure order = %v, want [1 3]", order)
+	}
+}
+
+func TestScheduleCallNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleCall(-1) did not panic")
+		}
+	}()
+	NewEngine().ScheduleCall(-1, stopHandler{}, EventArg{})
+}
+
+func TestCallAtPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CallAt(past) did not panic")
+		}
+	}()
+	e.CallAt(50, stopHandler{}, EventArg{})
+}
+
+// countHandler is pointer-shaped: converting it to Handler never allocates,
+// which is what keeps the steady-state ScheduleCall cycle at 0 allocs/op.
+type countHandler uint64
+
+func (h *countHandler) OnEvent(*Engine, EventArg) { *h++ }
+
+func TestScheduleCallAllocationFree(t *testing.T) {
+	e := NewEngine()
+	var h countHandler
+	payload := &struct{ v int }{}
+	burst := func() {
+		for i := 0; i < 8; i++ {
+			e.ScheduleCall(Time(i), &h, EventArg{Ptr: payload, A: uint64(i)})
+		}
+		e.Run()
+	}
+	burst() // prime the queue capacity
+	if allocs := testing.AllocsPerRun(100, burst); allocs > 0 {
+		t.Fatalf("ScheduleCall burst allocated %.1f per iteration, want 0", allocs)
+	}
+	if h == 0 {
+		t.Fatal("handler never fired")
+	}
+}
+
+// BenchmarkEngineScheduleCall measures the steady-state closure-free
+// schedule/dispatch cycle on a primed engine; it must report 0 allocs/op
+// (the perf-guard companion to BenchmarkEngineSchedule).
+func BenchmarkEngineScheduleCall(b *testing.B) {
+	e := NewEngine()
+	var h countHandler
+	for i := 0; i < 64; i++ {
+		e.ScheduleCall(Time(i), &h, EventArg{})
+	}
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleCall(Time(i%17), &h, EventArg{A: uint64(i)})
+		if i%64 == 63 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

@@ -63,21 +63,35 @@ func (o *OpenLoop) Start() {
 	mean := sim.Time(float64(o.PacketBytes)/bytesPerPS + 0.5)
 	root := sim.NewRNG(o.Seed)
 	for s := 0; s < o.Params.Grid.Sites(); s++ {
-		site := geometry.SiteID(s)
-		rng := root.Derive(int64(s))
-		o.scheduleNext(site, rng, mean)
+		src := &source{
+			o:    o,
+			site: geometry.SiteID(s),
+			rng:  root.Derive(int64(s)),
+			mean: mean,
+		}
+		o.Eng.ScheduleCall(src.rng.ExpDuration(mean), src, sim.EventArg{})
 	}
 }
 
-func (o *OpenLoop) scheduleNext(site geometry.SiteID, rng *sim.RNG, mean sim.Time) {
-	gap := rng.ExpDuration(mean)
-	o.Eng.Schedule(gap, func() {
-		if o.Eng.Now() > o.Until {
-			return
-		}
-		o.send(site, o.Pattern.Dest(site, rng), 0)
-		o.scheduleNext(site, rng, mean)
-	})
+// source is one site's Poisson injector: a sim.Handler allocated once per
+// site at Start, so the steady-state inject→reschedule cycle creates no
+// per-packet closures. The RNG draw order (destination, then next gap)
+// matches the original closure-based generator exactly — runs are
+// stream-for-stream identical.
+type source struct {
+	o    *OpenLoop
+	site geometry.SiteID
+	rng  *sim.RNG
+	mean sim.Time
+}
+
+func (s *source) OnEvent(e *sim.Engine, _ sim.EventArg) {
+	o := s.o
+	if e.Now() > o.Until {
+		return
+	}
+	o.send(s.site, o.Pattern.Dest(s.site, s.rng), 0)
+	e.ScheduleCall(s.rng.ExpDuration(s.mean), s, sim.EventArg{})
 }
 
 // send injects one packet, arming the delivery-timeout/retransmit chain
