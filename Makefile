@@ -38,14 +38,17 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'EngineSchedule|EngineScheduleCall|DisabledInstruments' -benchtime 1x ./internal/sim ./internal/metrics
 
 # bench-json regenerates the committed kernel-performance baseline: the
-# per-network load-point benchmarks plus the miniature full sweep, captured
-# both in raw `go test -bench` form (BENCH_pr4.txt, for benchstat) and as
-# JSON (BENCH_pr4.json, for dashboards and PR-to-PR diffs).
+# per-network load-point benchmarks plus the miniature full sweep (uncached
+# and cold-cache variants), captured both in raw `go test -bench` form
+# ($(BENCH_BASELINE).txt, for benchstat) and as JSON ($(BENCH_BASELINE).json,
+# for dashboards and PR-to-PR diffs). BENCH_BASELINE names the committed
+# files; bump it per baseline-refreshing PR so history stays diffable.
 BENCH_COUNT ?= 5
+BENCH_BASELINE ?= BENCH_pr5
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunLoadPoint|BenchmarkLoadSweep' \
-		-benchmem -count $(BENCH_COUNT) ./internal/harness | tee BENCH_pr4.txt
-	$(GO) run ./cmd/benchjson < BENCH_pr4.txt > BENCH_pr4.json
+		-benchmem -count $(BENCH_COUNT) ./internal/harness | tee $(BENCH_BASELINE).txt
+	$(GO) run ./cmd/benchjson < $(BENCH_BASELINE).txt > $(BENCH_BASELINE).json
 
 # bench-compare reruns the load-point benchmarks quickly and benchstats them
 # against the committed baseline. Report-only: it never fails the build, and
@@ -54,12 +57,12 @@ bench-json:
 bench-compare:
 	@if ! command -v benchstat >/dev/null 2>&1; then \
 		echo "benchstat not installed; skipping bench-compare (go install golang.org/x/perf/cmd/benchstat@latest)"; \
-	elif [ ! -f BENCH_pr4.txt ]; then \
-		echo "no BENCH_pr4.txt baseline; skipping bench-compare (make bench-json)"; \
+	elif [ ! -f $(BENCH_BASELINE).txt ]; then \
+		echo "no $(BENCH_BASELINE).txt baseline; skipping bench-compare (make bench-json)"; \
 	else \
 		$(GO) test -run '^$$' -bench BenchmarkRunLoadPoint -benchmem -count 3 \
 			./internal/harness > /tmp/bench_head.txt 2>&1 || { cat /tmp/bench_head.txt; exit 0; }; \
-		benchstat BENCH_pr4.txt /tmp/bench_head.txt || true; \
+		benchstat $(BENCH_BASELINE).txt /tmp/bench_head.txt || true; \
 	fi
 
 # check is the pre-merge gate: vet + formatting + lint + tests + race

@@ -15,6 +15,9 @@
 // pool that fans the independent simulations across cores (0, the
 // default, uses every core; 1 runs serially — output is identical either
 // way because each point's seed derives purely from the point identity).
+// Results are cached content-addressed under -cache-dir (default
+// os.UserCacheDir()/macrochip/expcache; -no-cache or -cache-dir "" opts
+// out), so repeated runs replay from disk with byte-identical output.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"runtime/pprof"
 
 	"macrochip/internal/core"
+	"macrochip/internal/expcache"
 	"macrochip/internal/harness"
 	"macrochip/internal/sim"
 	"macrochip/internal/workload"
@@ -41,11 +45,18 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	jobs := flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
+	cacheDir := flag.String("cache-dir", expcache.DefaultDir(), `experiment result cache directory ("" disables)`)
+	noCache := flag.Bool("no-cache", false, "disable the experiment result cache")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	outDir = *csvDir
-	runner = harness.Runner{Workers: *jobs}
+	cache, err := expcache.OpenOrDisable(*cacheDir, *noCache)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures: cache disabled:", err)
+	}
+	runner = harness.Runner{Workers: *jobs, Cache: cache}
+	defer func() { fmt.Fprintln(os.Stderr, "figures:", cache.Summary()) }()
 
 	if *cpuprofile != "" {
 		stop, err := startCPUProfile(*cpuprofile)

@@ -13,6 +13,8 @@
 // -quick shrinks the simulation windows for a fast smoke run; -j bounds
 // the worker pool (0 = all cores, 1 = serial; output is byte-identical
 // either way because each point's seed derives purely from its identity).
+// Results are cached content-addressed under -cache-dir (default
+// os.UserCacheDir()/macrochip/expcache; -no-cache opts out).
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 
+	"macrochip/internal/expcache"
 	"macrochip/internal/fault"
 	"macrochip/internal/harness"
 	"macrochip/internal/networks"
@@ -43,9 +46,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	jobs := flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
 	csvPath := flag.String("csv", "", "also write the sweep as CSV to this file")
+	cacheDir := flag.String("cache-dir", expcache.DefaultDir(), `experiment result cache directory ("" disables)`)
+	noCache := flag.Bool("no-cache", false, "disable the experiment result cache")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	cache, cerr := expcache.OpenOrDisable(*cacheDir, *noCache)
+	if cerr != nil {
+		log.Print("cache disabled: ", cerr)
+	}
+	defer func() { log.Print(cache.Summary()) }()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -106,7 +117,7 @@ func main() {
 		}
 	}
 
-	points := harness.ResilienceStudyWith(harness.Runner{Workers: *jobs}, cfg)
+	points := harness.ResilienceStudyWith(harness.Runner{Workers: *jobs, Cache: cache}, cfg)
 	fmt.Print(harness.RenderResilience(points))
 
 	if *csvPath != "" {

@@ -194,7 +194,13 @@ func (e *Engine) Instrument(o metrics.Observer) {
 // reply plus, for invalidating writes, one ack per sharer — so duplicate
 // deliveries from overlapping attempts are idempotent and can never
 // complete an operation early.
+//
+// The tracker carries its engine so the per-packet delivery handlers
+// (reqArrival, dataDone — pointer conversions of the tracker itself) reach
+// protocol state without capturing anything: one tracker allocation per
+// operation replaces the former two-plus closures per message.
 type tracker struct {
+	e       *Engine
 	op      *Op
 	issued  sim.Time
 	attempt int
@@ -221,22 +227,95 @@ func (e *Engine) start(op *Op) {
 	if op.OnIssued != nil {
 		op.OnIssued()
 	}
-	t := &tracker{op: op, issued: e.eng.Now(), acks: make([]bool, len(op.Sharers))}
+	t := &tracker{e: e, op: op, issued: e.eng.Now(), acks: make([]bool, len(op.Sharers))}
 	e.sendRequest(op, t)
 	e.armTimeout(op, t)
 }
 
 // sendRequest launches (or relaunches) the request→lookup→response chain.
+// The request packet's delivery handler is the tracker itself (pointer-
+// shaped), so retransmissions allocate only the packet.
 func (e *Engine) sendRequest(op *Op, t *tracker) {
 	e.net.Inject(&core.Packet{
 		Src: op.Requester, Dst: op.Home,
 		Bytes: e.p.CtrlMsgBytes, Class: core.ClassRequest,
-		OnDeliver: func(_ *core.Packet, _ sim.Time) {
-			// Directory lookup at the home; the tracker rides the event arg
-			// so the per-request lookup delay schedules no closure.
-			e.eng.ScheduleCall(e.p.Cycles(e.p.DirectoryLookupCycles), (*lookupH)(e), sim.EventArg{Ptr: t})
-		},
+		Deliver: (*reqArrival)(t),
 	})
+}
+
+// reqArrival fires when the request reaches the home site: it schedules the
+// directory lookup, with the tracker riding the event arg so the per-request
+// lookup delay schedules no closure either.
+type reqArrival tracker
+
+func (h *reqArrival) OnDeliver(_ *core.Packet, _ sim.Time) {
+	t := (*tracker)(h)
+	e := t.e
+	e.eng.ScheduleCall(e.p.Cycles(e.p.DirectoryLookupCycles), (*lookupH)(e), sim.EventArg{Ptr: t})
+}
+
+// dataDone fires when the operation's data reply lands at the requester:
+// idempotent under duplicate deliveries from retransmitted attempts.
+type dataDone tracker
+
+func (h *dataDone) OnDeliver(_ *core.Packet, at sim.Time) {
+	t := (*tracker)(h)
+	if t.done || t.data {
+		return
+	}
+	t.data = true
+	if t.complete() {
+		t.e.finish(t, at)
+	}
+}
+
+// fwdArrival fires when a dirty-owner intervention reaches the owner, which
+// then supplies the data directly to the requester.
+type fwdArrival tracker
+
+func (h *fwdArrival) OnDeliver(_ *core.Packet, _ sim.Time) {
+	t := (*tracker)(h)
+	t.e.net.Inject(&core.Packet{
+		Src: t.op.Sharers[0], Dst: t.op.Requester,
+		Bytes: t.e.p.DataMsgBytes, Class: core.ClassData,
+		Deliver: (*dataDone)(t),
+	})
+}
+
+// ackChain carries one sharer's invalidate→ack leg: invArrival fires at the
+// sharer (inject the ack), ackArrival fires at the requester (record it).
+// One ackChain allocation per sharer replaces the former two closures per
+// sharer; both handler shapes are free pointer conversions of it.
+type ackChain struct {
+	t  *tracker
+	i  int             // sharer index in t.acks
+	sh geometry.SiteID // the sharer site
+}
+
+type invArrival ackChain
+
+func (h *invArrival) OnDeliver(_ *core.Packet, _ sim.Time) {
+	c := (*ackChain)(h)
+	e := c.t.e
+	e.net.Inject(&core.Packet{
+		Src: c.sh, Dst: c.t.op.Requester,
+		Bytes: e.p.CtrlMsgBytes, Class: core.ClassAck,
+		Deliver: (*ackArrival)(c),
+	})
+}
+
+type ackArrival ackChain
+
+func (h *ackArrival) OnDeliver(_ *core.Packet, at sim.Time) {
+	c := (*ackChain)(h)
+	t := c.t
+	if t.done || t.acks[c.i] {
+		return
+	}
+	t.acks[c.i] = true
+	if t.complete() {
+		t.e.finish(t, at)
+	}
 }
 
 // lookupH fires when the home's directory lookup completes for the tracker
@@ -320,75 +399,50 @@ func (e *Engine) finish(t *tracker, at sim.Time) {
 	}
 }
 
-// homeAction emits the directory's response messages.
+// homeAction emits the directory's response messages. Every response packet
+// carries a pointer-shaped delivery handler over the tracker (or an
+// ackChain), so the whole response fan-out allocates no closures.
 func (e *Engine) homeAction(op *Op, t *tracker) {
-	dataDone := func(_ *core.Packet, at sim.Time) {
-		if t.done || t.data {
-			return
-		}
-		t.data = true
-		if t.complete() {
-			e.finish(t, at)
-		}
-	}
 	switch {
 	case len(op.Sharers) == 0:
 		// Unshared: the home supplies data — from its on-package memory,
-		// or after an off-package fetch when a memory backend is attached.
-		send := func() {
-			e.net.Inject(&core.Packet{
-				Src: op.Home, Dst: op.Requester,
-				Bytes: e.p.DataMsgBytes, Class: core.ClassData, OnDeliver: dataDone,
-			})
-		}
+		// or after an off-package fetch when a memory backend is attached
+		// (the backend's done callback stays a closure: the off-package
+		// path is orders of magnitude colder than the network path).
 		if e.mem != nil {
-			e.mem.Access(int(op.Home), e.p.DataMsgBytes, send)
+			e.mem.Access(int(op.Home), e.p.DataMsgBytes, func() { e.sendHomeData(t) })
 		} else {
-			send()
+			e.sendHomeData(t)
 		}
 	case !op.Write:
 		// Dirty owner: forward the intervention; the owner supplies data.
-		owner := op.Sharers[0]
 		e.net.Inject(&core.Packet{
-			Src: op.Home, Dst: owner,
+			Src: op.Home, Dst: op.Sharers[0],
 			Bytes: e.p.CtrlMsgBytes, Class: core.ClassInvalidate,
-			OnDeliver: func(_ *core.Packet, _ sim.Time) {
-				e.net.Inject(&core.Packet{
-					Src: owner, Dst: op.Requester,
-					Bytes: e.p.DataMsgBytes, Class: core.ClassData, OnDeliver: dataDone,
-				})
-			},
+			Deliver: (*fwdArrival)(t),
 		})
 	default:
 		// Write to shared data: data from home plus invalidations fanned
 		// out to every sharer, each acknowledged to the requester.
-		e.net.Inject(&core.Packet{
-			Src: op.Home, Dst: op.Requester,
-			Bytes: e.p.DataMsgBytes, Class: core.ClassData, OnDeliver: dataDone,
-		})
+		e.sendHomeData(t)
 		for i, sh := range op.Sharers {
-			i, sh := i, sh
-			ackDone := func(_ *core.Packet, at sim.Time) {
-				if t.done || t.acks[i] {
-					return
-				}
-				t.acks[i] = true
-				if t.complete() {
-					e.finish(t, at)
-				}
-			}
+			c := &ackChain{t: t, i: i, sh: sh}
 			e.net.Inject(&core.Packet{
 				Src: op.Home, Dst: sh,
 				Bytes: e.p.CtrlMsgBytes, Class: core.ClassInvalidate,
-				OnDeliver: func(_ *core.Packet, _ sim.Time) {
-					e.net.Inject(&core.Packet{
-						Src: sh, Dst: op.Requester,
-						Bytes: e.p.CtrlMsgBytes, Class: core.ClassAck, OnDeliver: ackDone,
-					})
-				},
+				Deliver: (*invArrival)(c),
 			})
 		}
 	}
+}
+
+// sendHomeData injects the home→requester data reply.
+func (e *Engine) sendHomeData(t *tracker) {
+	e.net.Inject(&core.Packet{
+		Src: t.op.Home, Dst: t.op.Requester,
+		Bytes: e.p.DataMsgBytes, Class: core.ClassData,
+		Deliver: (*dataDone)(t),
+	})
 }
 
 // Writeback sends a fire-and-forget dirty-eviction data message to the

@@ -318,3 +318,42 @@ func TestIntraSiteOperation(t *testing.T) {
 		t.Fatalf("intra-site op latency = %v, want %v", lat, want)
 	}
 }
+
+func TestCoherenceSteadyStateAllocs(t *testing.T) {
+	// The delivery chain is closure-free (pointer-shaped DeliverHandlers over
+	// the tracker), so a steady-state unshared miss costs only the caller's
+	// Op, the tracker, and the two packets — and an invalidating write adds
+	// one ackChain + two packets per sharer plus the ack bitmap. These
+	// bounds pin the "no closures in the hot path" property: reintroducing a
+	// per-message closure bumps them immediately.
+	eng, p, coh := setup()
+	g := p.Grid
+	issueUnshared := func() {
+		coh.Issue(&coherence.Op{Requester: 0, Home: 1})
+	}
+	stepUnshared := func() {
+		eng.Schedule(0, issueUnshared)
+		eng.Run()
+	}
+	stepUnshared() // prime queue capacity and path tables
+	if allocs := testing.AllocsPerRun(200, stepUnshared); allocs > 4 {
+		t.Fatalf("unshared coherence op allocated %.1f, want ≤ 4 (Op + tracker + 2 packets)", allocs)
+	}
+
+	sharers := []geometry.SiteID{g.Site(0, 2), g.Site(3, 3)}
+	issueWrite := func() {
+		coh.Issue(&coherence.Op{Requester: 0, Home: 1, Sharers: sharers, Write: true})
+	}
+	stepWrite := func() {
+		eng.Schedule(0, issueWrite)
+		eng.Run()
+	}
+	stepWrite()
+	// Op + tracker + acks bitmap + 2+2k packets + k ackChains = 11 for k=2.
+	if allocs := testing.AllocsPerRun(200, stepWrite); allocs > 11 {
+		t.Fatalf("2-sharer invalidating write allocated %.1f, want ≤ 11", allocs)
+	}
+	if coh.Completed == 0 {
+		t.Fatal("no operations completed")
+	}
+}

@@ -46,9 +46,23 @@ func (c MsgClass) String() string {
 	return fmt.Sprintf("class(%d)", uint8(c))
 }
 
+// DeliverHandler is the closure-free delivery callback, mirroring the
+// sim.Handler contract: implement OnDeliver on a (usually pointer-shaped)
+// type and set Packet.Deliver instead of allocating an OnDeliver closure
+// per packet. Converting a pointer to a DeliverHandler allocates nothing,
+// so the per-packet delivery chain of a hot loop (coherence request/data
+// trackers, the open-loop generator's packet recycler) runs allocation-free.
+//
+// Contract: OnDeliver runs exactly once per delivered packet, at delivery
+// time, after statistics are recorded, inside the engine's dispatch thread.
+// The handler is the packet's last holder and may reuse or retain it.
+type DeliverHandler interface {
+	OnDeliver(p *Packet, at sim.Time)
+}
+
 // Packet is one network message. Packets are created by traffic generators
 // or the coherence engine and handed to a Network via Inject; the network
-// calls OnDeliver exactly once when the last byte arrives at Dst.
+// calls Deliver/OnDeliver exactly once when the last byte arrives at Dst.
 type Packet struct {
 	// ID is unique within a run (assigned by the Stats sink at injection).
 	ID uint64
@@ -64,8 +78,13 @@ type Packet struct {
 	// Hops counts electronic forwarding hops taken (limited point-to-point
 	// only); used for router energy accounting.
 	Hops int
-	// OnDeliver, if non-nil, runs at delivery time (after statistics are
-	// recorded). The coherence engine uses it to advance transactions.
+	// Deliver, if non-nil, runs at delivery time (after statistics are
+	// recorded) without the per-packet closure allocation of OnDeliver.
+	// The coherence engine and the open-loop packet free list use it.
+	Deliver DeliverHandler
+	// OnDeliver is the closure-based compatibility path, also invoked at
+	// delivery time (after Deliver when both are set). Prefer Deliver on
+	// hot paths; a closure here typically costs one allocation per packet.
 	OnDeliver func(p *Packet, at sim.Time)
 }
 

@@ -99,7 +99,8 @@ func (s *Stats) OnEvent(e *sim.Engine, arg sim.EventArg) {
 }
 
 // RecordDelivery notes a completed delivery at time `at` and invokes the
-// packet's OnDeliver callback.
+// packet's delivery callbacks (the closure-free Deliver handler first, then
+// the OnDeliver compatibility closure).
 func (s *Stats) RecordDelivery(p *Packet, at sim.Time) {
 	s.Delivered++
 	s.PerClass[p.Class]++
@@ -117,6 +118,9 @@ func (s *Stats) RecordDelivery(p *Packet, at sim.Time) {
 		if s.MeasureEnd == 0 || at <= s.MeasureEnd {
 			s.WindowBytes += uint64(p.Bytes)
 		}
+	}
+	if p.Deliver != nil {
+		p.Deliver.OnDeliver(p, at)
 	}
 	if p.OnDeliver != nil {
 		p.OnDeliver(p, at)

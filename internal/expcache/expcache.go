@@ -1,0 +1,250 @@
+// Package expcache is a persistent, content-addressed result cache for
+// simulation points. PR 1 made every experiment point a pure function of
+// (config, derived seed); this package exploits that purity: the first run
+// of a point simulates and stores the result struct, every later run — in
+// this process or any other sharing the cache directory — deserializes it
+// in microseconds instead of resimulating in seconds.
+//
+// Addressing: the key is a SHA-256 over a canonical serialization of the
+// full point config plus a model-version salt (see KeyBuilder). The value
+// is the complete result struct, JSON-encoded — Go's JSON float encoding is
+// shortest-round-trip, so decoded results are bit-identical to computed
+// ones and cached CSV output is byte-identical to cold output.
+//
+// Durability: entries are written to a temp file in the cache directory and
+// published with an atomic rename, so a reader can never observe a partial
+// entry and a crashed or concurrent writer can never corrupt one. Unreadable
+// or undecodable entries are deleted and treated as misses. Cache write
+// failures are counted, never fatal: the cache degrades to recomputation.
+//
+// Concurrency: the cache is safe for concurrent use by the experiment
+// harness's worker pool, and an in-process single-flight layer deduplicates
+// identical points inside one study (e.g. the shared zero-load anchors
+// across figure-6 panels) so each distinct point simulates at most once per
+// process even on a cold cache. Across processes the worst case is duplicate
+// work, never corruption: both writers rename identical bytes into place.
+//
+// A nil *Cache is the disabled layer: Do computes directly, and every
+// method is a no-op, so callers thread a single pointer with no branching.
+package expcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"macrochip/internal/metrics"
+	"macrochip/internal/sim"
+)
+
+// Cache is one result-cache directory handle. Create with Open; the zero
+// value is not usable, but a nil *Cache is (it disables caching).
+type Cache struct {
+	dir string
+
+	mu       sync.Mutex
+	inflight map[Key]*flight
+
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	bytesRead    atomic.Uint64
+	bytesWritten atomic.Uint64
+	writeErrors  atomic.Uint64
+}
+
+// flight is one in-process computation of a key; latecomers for the same
+// key wait on done and share val instead of recomputing.
+type flight struct {
+	done chan struct{}
+	val  any
+}
+
+// Open returns a cache rooted at dir, creating the directory if needed.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir, inflight: map[Key]*flight{}}, nil
+}
+
+// DefaultDir is the conventional per-user cache location
+// (os.UserCacheDir()/macrochip/expcache), or "" when the platform reports
+// no user cache directory — callers treat "" as cache-disabled.
+func DefaultDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "macrochip", "expcache")
+}
+
+// OpenOrDisable resolves the standard -cache-dir/-no-cache flag pair: it
+// returns nil (caching disabled) when disable is set or dir is empty, and
+// otherwise opens dir. An open failure also disables caching and reports the
+// error, so callers can warn and continue uncached rather than die.
+func OpenOrDisable(dir string, disable bool) (*Cache, error) {
+	if disable || dir == "" {
+		return nil, nil
+	}
+	return Open(dir)
+}
+
+// Summary formats a one-line hit/miss report for end-of-run logging.
+func (c *Cache) Summary() string {
+	if c == nil {
+		return "result cache disabled"
+	}
+	s := c.Stats()
+	line := fmt.Sprintf("result cache %s: %d hits, %d misses, %.1f MB read, %.1f MB written",
+		c.dir, s.Hits, s.Misses, float64(s.BytesRead)/1e6, float64(s.BytesWritten)/1e6)
+	if s.WriteErrors > 0 {
+		line += fmt.Sprintf(", %d write errors", s.WriteErrors)
+	}
+	return line
+}
+
+// Dir reports the cache directory ("" for a nil cache).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// Stats is a point-in-time snapshot of cache traffic.
+type Stats struct {
+	Hits, Misses uint64
+	// BytesRead / BytesWritten count successfully decoded entry bytes and
+	// successfully published entry bytes.
+	BytesRead, BytesWritten uint64
+	// WriteErrors counts entries that could not be persisted (the result
+	// was still returned — write failure degrades to recomputation later).
+	WriteErrors uint64
+}
+
+// Stats returns the current counters (zero for a nil cache).
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		BytesRead:    c.bytesRead.Load(),
+		BytesWritten: c.bytesWritten.Load(),
+		WriteErrors:  c.writeErrors.Load(),
+	}
+}
+
+// Instrument implements metrics.Instrumentable: hit/miss/byte gauges over
+// the live counters, under the expcache/ prefix.
+func (c *Cache) Instrument(o metrics.Observer) {
+	if c == nil || o.Reg == nil {
+		return
+	}
+	o.Reg.Gauge("expcache/hits", func(sim.Time) float64 {
+		return float64(c.hits.Load())
+	})
+	o.Reg.Gauge("expcache/misses", func(sim.Time) float64 {
+		return float64(c.misses.Load())
+	})
+	o.Reg.Gauge("expcache/bytes_read", func(sim.Time) float64 {
+		return float64(c.bytesRead.Load())
+	})
+	o.Reg.Gauge("expcache/bytes_written", func(sim.Time) float64 {
+		return float64(c.bytesWritten.Load())
+	})
+}
+
+// Do returns the cached value for key, computing and persisting it on a
+// miss. Identical in-process calls are single-flighted: only the first
+// computes; the rest block and share its result. A nil cache computes
+// directly. The value type T must round-trip through encoding/json; all
+// harness result structs do.
+func Do[T any](c *Cache, key Key, compute func() T) T {
+	if c == nil {
+		return compute()
+	}
+	c.mu.Lock()
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.val.(T)
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		close(f.done)
+	}()
+
+	var v T
+	if c.load(key, &v) {
+		c.hits.Add(1)
+		f.val = v
+		return v
+	}
+	c.misses.Add(1)
+	v = compute()
+	c.store(key, v)
+	f.val = v
+	return v
+}
+
+// path returns the entry filename for a key.
+func (c *Cache) path(key Key) string {
+	return filepath.Join(c.dir, key.Hex()+".json")
+}
+
+// load reads and decodes one entry. Any failure — missing, truncated, or
+// corrupt — reports false; undecodable files are deleted so the slot heals
+// on the next store instead of failing forever.
+func (c *Cache) load(key Key, out any) bool {
+	p := c.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return false
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		os.Remove(p)
+		return false
+	}
+	c.bytesRead.Add(uint64(len(data)))
+	return true
+}
+
+// store publishes one entry atomically: encode, write to a temp file in the
+// cache directory (same filesystem, so rename is atomic), fsync-free rename
+// into place. Failures are counted and swallowed — a result that cannot be
+// cached is still a result.
+func (c *Cache) store(key Key, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		c.writeErrors.Add(1)
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		c.writeErrors.Add(1)
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		c.writeErrors.Add(1)
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		c.writeErrors.Add(1)
+		return
+	}
+	c.bytesWritten.Add(uint64(len(data)))
+}

@@ -1,0 +1,261 @@
+package expcache
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"macrochip/internal/metrics"
+	"macrochip/internal/sim"
+)
+
+type point struct {
+	Load float64
+	Mean int64
+}
+
+func testKey(n int64) Key {
+	return NewKey("test-salt-v1").Int("n", n).Sum()
+}
+
+func TestDoComputesOnceThenHits(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	computes := 0
+	compute := func() point {
+		computes++
+		return point{Load: 0.3, Mean: 1234}
+	}
+	first := Do(c, testKey(1), compute)
+	second := Do(c, testKey(1), compute)
+	if computes != 1 {
+		t.Fatalf("computed %d times, want 1", computes)
+	}
+	if first != second {
+		t.Fatalf("cached value %+v != computed %+v", second, first)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 miss + 1 hit", st)
+	}
+	if st.BytesWritten == 0 || st.BytesRead == 0 || st.WriteErrors != 0 {
+		t.Fatalf("byte accounting off: %+v", st)
+	}
+}
+
+func TestEntriesPersistAcrossHandles(t *testing.T) {
+	dir := t.TempDir()
+	c1, _ := Open(dir)
+	want := Do(c1, testKey(2), func() point { return point{Load: 0.5, Mean: 77} })
+	c2, _ := Open(dir)
+	got := Do(c2, testKey(2), func() point {
+		t.Fatal("second handle recomputed a persisted entry")
+		return point{}
+	})
+	if got != want {
+		t.Fatalf("persisted value %+v != original %+v", got, want)
+	}
+}
+
+func TestCorruptEntryIsMissAndHeals(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := Open(dir)
+	key := testKey(3)
+	Do(c, key, func() point { return point{Mean: 10} })
+	p := filepath.Join(dir, key.Hex()+".json")
+
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"truncated", []byte(`{"Load":0.1,"Me`)},
+		{"garbage", []byte("\x00\xffnot json at all")},
+		{"empty", nil},
+	} {
+		if err := os.WriteFile(p, tc.data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got := Do(c, key, func() point { return point{Mean: 10} })
+		if got.Mean != 10 {
+			t.Fatalf("%s entry: got %+v after recompute", tc.name, got)
+		}
+		// The recompute must have healed the slot: a further Do is a hit.
+		hitsBefore := c.Stats().Hits
+		Do(c, key, func() point {
+			t.Fatalf("%s entry: slot not healed, recomputed again", tc.name)
+			return point{}
+		})
+		if c.Stats().Hits != hitsBefore+1 {
+			t.Fatalf("%s entry: healed slot did not hit", tc.name)
+		}
+	}
+}
+
+func TestSaltBumpInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := Open(dir)
+	k1 := NewKey("model-v1").Int("n", 9).Sum()
+	k2 := NewKey("model-v2").Int("n", 9).Sum()
+	if k1 == k2 {
+		t.Fatal("salt bump did not change the key")
+	}
+	Do(c, k1, func() point { return point{Mean: 1} })
+	recomputed := false
+	Do(c, k2, func() point { recomputed = true; return point{Mean: 2} })
+	if !recomputed {
+		t.Fatal("bumped-salt key served a stale entry")
+	}
+}
+
+func TestSharedDirConcurrentRunners(t *testing.T) {
+	// Two handles over one directory, hammered concurrently with overlapping
+	// keys — the pattern of two harness processes sharing -cache-dir. Run
+	// under -race this pins the locking; the value check pins that every
+	// caller sees a complete entry (atomic rename: no partial reads).
+	dir := t.TempDir()
+	c1, _ := Open(dir)
+	c2, _ := Open(dir)
+	caches := []*Cache{c1, c2}
+	var wg sync.WaitGroup
+	var computes atomic.Int64
+	const keys = 8
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				n := int64(i % keys)
+				got := Do(caches[g%2], testKey(100+n), func() point {
+					computes.Add(1)
+					return point{Load: float64(n), Mean: n * 10}
+				})
+				if got.Mean != n*10 || got.Load != float64(n) {
+					t.Errorf("goroutine %d saw torn value %+v for key %d", g, got, n)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Each handle single-flights internally and reads the other's published
+	// entries; duplicate work across handles is bounded, not corrupt.
+	if c := computes.Load(); c > 2*keys {
+		t.Fatalf("%d computes for %d keys across 2 handles, want ≤ %d", c, keys, 2*keys)
+	}
+}
+
+func TestSingleFlightDedupes(t *testing.T) {
+	c, _ := Open(t.TempDir())
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			Do(c, testKey(7), func() point {
+				computes.Add(1)
+				<-gate // hold the flight open so everyone piles up on it
+				return point{Mean: 7}
+			})
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if computes.Load() != 1 {
+		t.Fatalf("single flight computed %d times, want 1", computes.Load())
+	}
+}
+
+func TestNilCacheComputesDirectly(t *testing.T) {
+	var c *Cache
+	got := Do(c, testKey(1), func() point { return point{Mean: 5} })
+	if got.Mean != 5 {
+		t.Fatalf("nil cache returned %+v", got)
+	}
+	if c.Dir() != "" || c.Stats() != (Stats{}) {
+		t.Fatal("nil cache methods not inert")
+	}
+	c.Instrument(metrics.Observer{}) // must not panic
+}
+
+func TestWriteFailureDegradesToRecompute(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := Open(dir)
+	// Make the directory unwritable so the temp-file create fails; reads of
+	// existing entries still work and misses still return computed results.
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: directory permissions are not enforced")
+	}
+	got := Do(c, testKey(11), func() point { return point{Mean: 3} })
+	if got.Mean != 3 {
+		t.Fatalf("write-failed Do returned %+v", got)
+	}
+	if c.Stats().WriteErrors != 1 {
+		t.Fatalf("write errors = %d, want 1", c.Stats().WriteErrors)
+	}
+}
+
+func TestKeyBuilderCanonicalization(t *testing.T) {
+	// Same field sequence → same key; any differing field, order, name, or
+	// type tag → different key.
+	base := func() Key {
+		return NewKey("s").Str("a", "x").Int("b", 2).Float("c", 0.1).Sum()
+	}
+	if base() != base() {
+		t.Fatal("identical builds disagree")
+	}
+	variants := []Key{
+		NewKey("s2").Str("a", "x").Int("b", 2).Float("c", 0.1).Sum(),
+		NewKey("s").Str("a", "y").Int("b", 2).Float("c", 0.1).Sum(),
+		NewKey("s").Str("a", "x").Int("b", 3).Float("c", 0.1).Sum(),
+		NewKey("s").Str("a", "x").Int("b", 2).Float("c", 0.2).Sum(),
+		NewKey("s").Int("b", 2).Str("a", "x").Float("c", 0.1).Sum(),
+		NewKey("s").Str("a", "x").Int("b", 2).Float("c", math.Copysign(0, -1)).Sum(),
+		// A struct field renders with names, so reordered values differ.
+		NewKey("s").Struct("p", struct{ A, B int }{1, 2}).Sum(),
+		NewKey("s").Struct("p", struct{ A, B int }{2, 1}).Sum(),
+	}
+	seen := map[Key]int{base(): -1}
+	for i, k := range variants {
+		if j, dup := seen[k]; dup {
+			t.Fatalf("variant %d collides with %d", i, j)
+		}
+		seen[k] = i
+	}
+	// Quoting keeps embedded separators unambiguous.
+	k1 := NewKey("s").Str("a", "x=1\n").Str("b", "").Sum()
+	k2 := NewKey("s").Str("a", "x=1").Str("b", "\n").Sum()
+	if k1 == k2 {
+		t.Fatal("string quoting failed to separate fields")
+	}
+}
+
+func TestInstrumentGauges(t *testing.T) {
+	c, _ := Open(t.TempDir())
+	Do(c, testKey(20), func() point { return point{} })
+	Do(c, testKey(20), func() point { return point{} })
+	reg := metrics.NewRegistry()
+	c.Instrument(metrics.Observer{Reg: reg})
+	want := map[string]float64{"expcache/hits": 1, "expcache/misses": 1}
+	for _, g := range reg.Gauges() {
+		if v, ok := want[g.Name()]; ok {
+			if got := g.Read(sim.Time(0)); got != v {
+				t.Fatalf("%s = %v, want %v", g.Name(), got, v)
+			}
+			delete(want, g.Name())
+		}
+	}
+	if len(want) != 0 {
+		t.Fatalf("gauges missing from registry: %v", want)
+	}
+}

@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"macrochip/internal/core"
+	"macrochip/internal/cpu"
+	"macrochip/internal/expcache"
+	"macrochip/internal/fault"
+	"macrochip/internal/networks"
+)
+
+// ModelSalt versions the semantics of every simulation behind the result
+// cache. Bump it whenever a change alters what any cached study point would
+// compute — kernel dispatch order, network timing models, coherence
+// protocol, statistics definitions — and every previously cached entry
+// becomes unreachable. Formatting-only and harness-plumbing changes do not
+// need a bump: the golden-CSV tests pin the actual output bytes either way.
+const ModelSalt = "macrochip-sim-v5"
+
+// loadPointKey addresses one figure-6-style load point. It covers the full
+// Params block, the point identity (network, pattern, load), the packet
+// size and measurement windows, and the point's derived seed. The
+// observability fields are deliberately excluded: instrumented runs bypass
+// the cache entirely (see cachedLoadPoint) because their value is the
+// sampled time series, not the result struct.
+func loadPointKey(cfg LoadPointConfig) expcache.Key {
+	return expcache.NewKey(ModelSalt).
+		Str("kind", "loadpoint").
+		Struct("params", cfg.Params).
+		Str("network", string(cfg.Network)).
+		Str("pattern", cfg.Pattern.Name()).
+		Float("load", cfg.Load).
+		Int("packet_bytes", int64(cfg.PacketBytes)).
+		Int("warmup_ps", int64(cfg.Warmup)).
+		Int("measure_ps", int64(cfg.Measure)).
+		Int("seed", cfg.Seed).
+		Sum()
+}
+
+// cachedLoadPoint is RunLoadPoint behind the cache. Instrumented configs
+// never consult the cache: a cached LoadPoint carries no probe series or
+// trace spans, so serving one would silently disable observability.
+func cachedLoadPoint(c *expcache.Cache, cfg LoadPointConfig) LoadPoint {
+	if c == nil || cfg.Obs.Enabled() {
+		return RunLoadPoint(cfg)
+	}
+	return expcache.Do(c, loadPointKey(cfg), func() LoadPoint {
+		return RunLoadPoint(cfg)
+	})
+}
+
+// benchCellKey addresses one (benchmark, network) cell of the figure-7..10
+// studies: Params, every benchmark scalar, the pattern identity, and the
+// cell's derived seed.
+func benchCellKey(b cpu.Benchmark, kind networks.Kind, p core.Params, seed int64) expcache.Key {
+	return expcache.NewKey(ModelSalt).
+		Str("kind", "benchcell").
+		Struct("params", p).
+		Str("benchmark", b.Name).
+		Float("miss_per_instr", b.MissPerInstr).
+		Struct("mix", b.Mix).
+		Str("pattern", b.Pattern.Name()).
+		Int("instr_per_core", int64(b.InstrPerCore)).
+		Str("network", string(kind)).
+		Int("seed", seed).
+		Sum()
+}
+
+// cachedBenchCell is RunBenchmark behind the cache. Note for readers of the
+// cached struct: BenchResult round-trips through JSON, which preserves every
+// field the study renderers and CSV writers read (Runtime, Ops,
+// LatencyPerOp, MaxLatency, Energy) exactly; the embedded *core.Stats sink
+// keeps its exported counters but not its unexported accumulators.
+func cachedBenchCell(c *expcache.Cache, b cpu.Benchmark, kind networks.Kind, p core.Params, seed int64) BenchResult {
+	if c == nil {
+		return RunBenchmark(b, kind, p, seed)
+	}
+	return expcache.Do(c, benchCellKey(b, kind, p, seed), func() BenchResult {
+		return RunBenchmark(b, kind, p, seed)
+	})
+}
+
+// scalingRowKey addresses one grid size of the scalability study. The row
+// is a pure analysis of ScaledParams(n), so the derived parameter block is
+// the whole identity.
+func scalingRowKey(n int) expcache.Key {
+	return expcache.NewKey(ModelSalt).
+		Str("kind", "scalingrow").
+		Int("n", int64(n)).
+		Struct("params", ScaledParams(n)).
+		Sum()
+}
+
+// cachedScalingRow is scalingRow behind the cache.
+func cachedScalingRow(c *expcache.Cache, n int) ScalingRow {
+	if c == nil {
+		return scalingRow(n)
+	}
+	return expcache.Do(c, scalingRowKey(n), func() ScalingRow {
+		return scalingRow(n)
+	})
+}
+
+// resiliencePointKey addresses one (network, class, rate) resilience cell:
+// Params, the sweep-point identity, every traffic/fault/retry setting that
+// feeds the simulation, and the derived seed.
+func resiliencePointKey(cfg ResilienceConfig, k networks.Kind, c fault.Class, rate float64) expcache.Key {
+	return expcache.NewKey(ModelSalt).
+		Str("kind", "resilience").
+		Struct("params", cfg.Params).
+		Str("network", string(k)).
+		Str("class", c.String()).
+		Float("rate", rate).
+		Float("load", cfg.Load).
+		Int("packet_bytes", int64(cfg.PacketBytes)).
+		Int("warmup_ps", int64(cfg.Warmup)).
+		Int("measure_ps", int64(cfg.Measure)).
+		Int("mttr_ps", int64(cfg.MTTR)).
+		Int("retry_timeout_ps", int64(cfg.Retry.Timeout)).
+		Int("retry_max", int64(cfg.Retry.MaxRetries)).
+		Int("seed", ResilienceSeed(cfg.Seed, k, c, rate)).
+		Sum()
+}
+
+// cachedResiliencePoint is RunResiliencePoint behind the cache.
+func cachedResiliencePoint(cache *expcache.Cache, cfg ResilienceConfig, k networks.Kind, c fault.Class, rate float64) ResiliencePoint {
+	if cache == nil {
+		return RunResiliencePoint(cfg, k, c, rate)
+	}
+	return expcache.Do(cache, resiliencePointKey(cfg, k, c, rate), func() ResiliencePoint {
+		return RunResiliencePoint(cfg, k, c, rate)
+	})
+}
+
+// saturationKey addresses one full bisection search: the probed config plus
+// the search bracket and tolerance. Caching the search result (not just its
+// probe points) makes a warm SaturationSweep read one entry per network.
+func saturationKey(cfg LoadPointConfig, lo, hi, tol float64) expcache.Key {
+	return expcache.NewKey(ModelSalt).
+		Str("kind", "satsearch").
+		Struct("params", cfg.Params).
+		Str("network", string(cfg.Network)).
+		Str("pattern", cfg.Pattern.Name()).
+		Int("packet_bytes", int64(cfg.PacketBytes)).
+		Int("warmup_ps", int64(cfg.Warmup)).
+		Int("measure_ps", int64(cfg.Measure)).
+		Int("seed", cfg.Seed).
+		Float("lo", lo).
+		Float("hi", hi).
+		Float("tol", tol).
+		Sum()
+}

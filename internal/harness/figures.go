@@ -77,7 +77,7 @@ func Figure6With(r Runner, base LoadPointConfig) []Figure6Panel {
 		cfg.Pattern = j.pat
 		cfg.Load = j.load
 		cfg.Seed = PointSeed(base.Seed, j.kind, j.pat.Name(), j.load)
-		return RunLoadPoint(cfg)
+		return cachedLoadPoint(r.Cache, cfg)
 	})
 	panels := []Figure6Panel{}
 	i := 0

@@ -1,8 +1,11 @@
 package harness
 
 import (
+	"path/filepath"
+	"strconv"
 	"testing"
 
+	"macrochip/internal/expcache"
 	"macrochip/internal/networks"
 	"macrochip/internal/sim"
 	"macrochip/internal/traffic"
@@ -62,6 +65,41 @@ func BenchmarkLoadSweep(b *testing.B) {
 				pt := RunLoadPoint(cfg)
 				events += pt.Events
 			}
+		}
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s, "events/sec")
+	}
+}
+
+// BenchmarkLoadSweepColdCache is BenchmarkLoadSweep through an always-cold
+// result cache: every iteration opens a fresh directory, so every point pays
+// the full miss path — key hashing, the probe read, JSON encoding, and the
+// atomic temp-file publish — on top of its simulation. The delta against
+// BenchmarkLoadSweep is the cache's whole cold-run overhead, which must stay
+// within noise (≤2%) because one SHA-256 and one small JSON write amortize
+// over milliseconds of event dispatch per point.
+func BenchmarkLoadSweepColdCache(b *testing.B) {
+	root := b.TempDir()
+	loads := []float64{0.01, 0.02, 0.04, 0.05}
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		c, err := expcache.Open(filepath.Join(root, strconv.Itoa(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, k := range networks.Six() {
+			cfg := benchLoadPointConfig(k)
+			for _, load := range loads {
+				cfg.Load = load
+				cfg.Seed = PointSeed(1, k, "uniform", load)
+				pt := cachedLoadPoint(c, cfg)
+				events += pt.Events
+			}
+		}
+		if st := c.Stats(); st.Hits != 0 {
+			b.Fatalf("cold-cache iteration hit: %+v", st)
 		}
 	}
 	if s := b.Elapsed().Seconds(); s > 0 {

@@ -6,6 +6,7 @@ package harness
 
 import (
 	"macrochip/internal/core"
+	"macrochip/internal/expcache"
 	"macrochip/internal/metrics"
 	"macrochip/internal/networks"
 	"macrochip/internal/sim"
@@ -130,10 +131,27 @@ func RunLoadPoint(cfg LoadPointConfig) LoadPoint {
 // inherently sequential — each probe depends on the last — but distinct
 // searches are independent; see SaturationSweep.
 func SaturationSearch(cfg LoadPointConfig, lo, hi, tol float64) float64 {
+	return saturationSearch(nil, cfg, lo, hi, tol)
+}
+
+// saturationSearch is SaturationSearch with an optional result cache: the
+// whole search is memoized under (config, bracket, tolerance), and on a
+// partially warm cache each bisection probe is itself a cacheable load
+// point, so a repeated search replays from disk without simulating.
+func saturationSearch(c *expcache.Cache, cfg LoadPointConfig, lo, hi, tol float64) float64 {
+	if c == nil {
+		return bisectSaturation(nil, cfg, lo, hi, tol)
+	}
+	return expcache.Do(c, saturationKey(cfg, lo, hi, tol), func() float64 {
+		return bisectSaturation(c, cfg, lo, hi, tol)
+	})
+}
+
+func bisectSaturation(c *expcache.Cache, cfg LoadPointConfig, lo, hi, tol float64) float64 {
 	for hi-lo > tol {
 		mid := (lo + hi) / 2
 		cfg.Load = mid
-		if RunLoadPoint(cfg).Saturated {
+		if cachedLoadPoint(c, cfg).Saturated {
 			hi = mid
 		} else {
 			lo = mid
@@ -148,6 +166,6 @@ func SaturationSearch(cfg LoadPointConfig, lo, hi, tol float64) float64 {
 // independent searches (e.g. the five networks of a §6.1 comparison).
 func SaturationSweep(r Runner, cfgs []LoadPointConfig, lo, hi, tol float64) []float64 {
 	return runIndexed(r, len(cfgs), func(i int) float64 {
-		return SaturationSearch(cfgs[i], lo, hi, tol)
+		return saturationSearch(r.Cache, cfgs[i], lo, hi, tol)
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"macrochip/internal/expcache"
 	"macrochip/internal/networks"
 	"macrochip/internal/sim"
 )
@@ -25,6 +26,13 @@ type Runner struct {
 	// Workers bounds the number of concurrently running simulations.
 	// Zero means runtime.GOMAXPROCS(0); one runs everything inline.
 	Workers int
+	// Cache, when non-nil, serves every study point content-addressed from
+	// the persistent result cache (internal/expcache) and records misses
+	// into it. Because each point's result is a pure function of its config
+	// and derived seed, cached output is byte-identical to simulated output
+	// (pinned by warm-vs-cold determinism tests); nil preserves the
+	// uncached behavior exactly.
+	Cache *expcache.Cache
 }
 
 // Serial is the single-worker Runner, for debugging and for callers that

@@ -52,7 +52,9 @@ func ScalingStudy(ns []int) []ScalingRow { return ScalingStudyWith(Runner{}, ns)
 // ScalingStudyWith is ScalingStudy on an explicit Runner: each grid size
 // is an independent analysis, so the sizes fan out across the pool.
 func ScalingStudyWith(r Runner, ns []int) []ScalingRow {
-	return runIndexed(r, len(ns), func(i int) ScalingRow { return scalingRow(ns[i]) })
+	return runIndexed(r, len(ns), func(i int) ScalingRow {
+		return cachedScalingRow(r.Cache, ns[i])
+	})
 }
 
 // scalingRow computes the complexity/power analysis for one grid size.

@@ -49,6 +49,16 @@ type OpenLoop struct {
 
 	// retryRNG jitters retransmission backoff; derived from Seed at Start.
 	retryRNG *sim.RNG
+
+	// free recycles delivered packets for retry-free runs: the recycler
+	// handler (the packet's last holder under the delivery contract) pushes
+	// each delivered packet here and send pops instead of allocating, so
+	// the steady-state inject→deliver cycle allocates nothing. Disabled
+	// automatically when Retry is enabled — a timed-out packet may be
+	// retained past delivery by the retransmit bookkeeping, so recycling
+	// would alias live packets. Packets lost to injected faults simply
+	// never return to the list; correctness never depends on its size.
+	free []*core.Packet
 }
 
 // Start schedules the first injection for every site. Call before Engine.Run.
@@ -97,11 +107,16 @@ func (s *source) OnEvent(e *sim.Engine, _ sim.EventArg) {
 // send injects one packet, arming the delivery-timeout/retransmit chain
 // when a retry policy is set.
 func (o *OpenLoop) send(src, dst geometry.SiteID, attempt int) {
-	p := &core.Packet{Src: src, Dst: dst, Bytes: o.PacketBytes, Class: core.ClassData}
 	if !o.Retry.Enabled() {
+		p := o.getPacket()
+		p.Src, p.Dst = src, dst
+		p.Bytes = o.PacketBytes
+		p.Class = core.ClassData
+		p.Deliver = (*recycler)(o)
 		o.Net.Inject(p)
 		return
 	}
+	p := &core.Packet{Src: src, Dst: dst, Bytes: o.PacketBytes, Class: core.ClassData}
 	delivered := false
 	p.OnDeliver = func(_ *core.Packet, _ sim.Time) { delivered = true }
 	o.Net.Inject(p)
@@ -154,6 +169,32 @@ func (o *OpenLoop) Instrument(ob metrics.Observer) {
 	ob.Reg.Gauge("traffic/arb_messages", func(sim.Time) float64 {
 		return float64(st.ArbMessages)
 	})
+}
+
+// getPacket pops a recycled packet from the free list (cleared to the zero
+// state, so stale IDs/timestamps/hop counts can never leak into a new
+// flight) or allocates when the list is empty.
+func (o *OpenLoop) getPacket() *core.Packet {
+	if n := len(o.free); n > 0 {
+		p := o.free[n-1]
+		o.free[n-1] = nil
+		o.free = o.free[:n-1]
+		*p = core.Packet{}
+		return p
+	}
+	return &core.Packet{}
+}
+
+// recycler is the free list's pointer-shaped core.DeliverHandler: delivery
+// hands the packet over (the networks retain nothing past dispatch), so it
+// goes straight back on the list. The simulation is single-threaded, so no
+// locking is needed.
+type recycler OpenLoop
+
+func (r *recycler) OnDeliver(p *core.Packet, _ sim.Time) {
+	o := (*OpenLoop)(r)
+	p.Deliver = nil
+	o.free = append(o.free, p)
 }
 
 // backoff returns attempt k's timeout: Timeout × 2^k plus up to one
