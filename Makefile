@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt staticcheck bench-smoke bench-json bench-compare check figures report
+.PHONY: build test race vet fmt staticcheck bench-smoke bench-json bench-compare serve-smoke check figures report
 
 build:
 	$(GO) build ./...
@@ -65,9 +65,16 @@ bench-compare:
 		benchstat $(BENCH_BASELINE).txt /tmp/bench_head.txt || true; \
 	fi
 
+# serve-smoke boots cmd/macrochipd on an ephemeral port with a throwaway
+# cache, drives one tiny experiment through the HTTP API twice (the second
+# must be a cache hit with byte-identical CSV), and requires a clean SIGTERM
+# drain. Skips with a notice when curl is not installed.
+serve-smoke:
+	@sh scripts/serve_smoke.sh
+
 # check is the pre-merge gate: vet + formatting + lint + tests + race
-# detector + benchmark smoke + report-only perf comparison.
-check: vet fmt staticcheck test race bench-smoke bench-compare
+# detector + benchmark smoke + daemon smoke + report-only perf comparison.
+check: vet fmt staticcheck test race bench-smoke serve-smoke bench-compare
 
 figures:
 	$(GO) run ./cmd/figures -all

@@ -56,10 +56,14 @@ type Cache struct {
 }
 
 // flight is one in-process computation of a key; latecomers for the same
-// key wait on done and share val instead of recomputing.
+// key wait on done and share val instead of recomputing. If the compute
+// panicked, panicVal carries the panic value and val is unset: waiters
+// re-propagate the original panic instead of crashing on a nil interface
+// conversion.
 type flight struct {
-	done chan struct{}
-	val  any
+	done     chan struct{}
+	val      any
+	panicVal any
 }
 
 // Open returns a cache rooted at dir, creating the directory if needed.
@@ -161,9 +165,11 @@ func (c *Cache) Instrument(o metrics.Observer) {
 
 // Do returns the cached value for key, computing and persisting it on a
 // miss. Identical in-process calls are single-flighted: only the first
-// computes; the rest block and share its result. A nil cache computes
-// directly. The value type T must round-trip through encoding/json; all
-// harness result structs do.
+// computes; the rest block, share its result, and count as hits. If the
+// compute panics, the panic propagates with its original value to the
+// computing caller and every waiter, and the flight is torn down so a
+// later Do recomputes. A nil cache computes directly. The value type T
+// must round-trip through encoding/json; all harness result structs do.
 func Do[T any](c *Cache, key Key, compute func() T) T {
 	if c == nil {
 		return compute()
@@ -172,16 +178,31 @@ func Do[T any](c *Cache, key Key, compute func() T) T {
 	if f, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
 		<-f.done
+		if f.panicVal != nil {
+			panic(f.panicVal)
+		}
+		// A joined flight is a hit: this caller was served a result it did
+		// not compute. The daemon's whole point is absorbing concurrent
+		// duplicates, so they must show up in Stats/Summary.
+		c.hits.Add(1)
 		return f.val.(T)
 	}
 	f := &flight{done: make(chan struct{})}
 	c.inflight[key] = f
 	c.mu.Unlock()
 	defer func() {
+		// A panicking compute must not close the flight with val unset —
+		// record the panic for the waiters, then resume unwinding here too.
+		if r := recover(); r != nil {
+			f.panicVal = r
+		}
 		c.mu.Lock()
 		delete(c.inflight, key)
 		c.mu.Unlock()
 		close(f.done)
+		if f.panicVal != nil {
+			panic(f.panicVal)
+		}
 	}()
 
 	var v T
@@ -234,7 +255,13 @@ func (c *Cache) store(key Key, v any) {
 		c.writeErrors.Add(1)
 		return
 	}
+	// CreateTemp opens 0600; loosen to the conventional 0644 before the
+	// rename publishes it, so entries in a shared cache directory stay
+	// readable by other users' runners and daemons.
 	_, werr := tmp.Write(data)
+	if merr := tmp.Chmod(0o644); werr == nil {
+		werr = merr
+	}
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())

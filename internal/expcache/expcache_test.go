@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"macrochip/internal/metrics"
 	"macrochip/internal/sim"
@@ -169,6 +170,113 @@ func TestSingleFlightDedupes(t *testing.T) {
 	wg.Wait()
 	if computes.Load() != 1 {
 		t.Fatalf("single flight computed %d times, want 1", computes.Load())
+	}
+}
+
+func TestPanicPropagatesToWaiters(t *testing.T) {
+	// A panicking compute used to close the flight with val unset, so every
+	// waiter died on `interface conversion: interface {} is nil` — a
+	// misleading crash pointing at the cache instead of the compute. The
+	// original panic value must reach the computing caller and each waiter,
+	// and the flight must be torn down so a later Do recomputes.
+	c, _ := Open(t.TempDir())
+	key := testKey(40)
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	recovered := make(chan any, 3)
+
+	run := func(compute func() point) {
+		defer func() { recovered <- recover() }()
+		Do(c, key, compute)
+		t.Error("Do returned normally from a panicking flight")
+	}
+	go run(func() point {
+		close(entered)
+		<-gate
+		panic("boom-42")
+	})
+	<-entered
+	for i := 0; i < 2; i++ {
+		// The waiters panic with the leader's value whether they join the
+		// flight or (in a rare schedule) start a fresh one after teardown.
+		go run(func() point { panic("boom-42") })
+	}
+	time.Sleep(50 * time.Millisecond) // let the waiters reach the flight
+	close(gate)
+	for i := 0; i < 3; i++ {
+		if r := <-recovered; r != "boom-42" {
+			t.Fatalf("caller %d recovered %v, want boom-42", i, r)
+		}
+	}
+	// The key must not be poisoned: a fresh Do computes and succeeds.
+	if got := Do(c, key, func() point { return point{Mean: 9} }); got.Mean != 9 {
+		t.Fatalf("post-panic Do returned %+v", got)
+	}
+}
+
+func TestJoinedFlightsCountAsHits(t *testing.T) {
+	// Waiters that join an in-flight computation are served a result they
+	// did not compute — hits. Before the fix they incremented nothing, so
+	// Summary() undercounted exactly the concurrent-duplicate traffic the
+	// daemon exists to absorb. Whether a duplicate joins the flight or
+	// arrives late and loads the published entry, hits+misses must equal
+	// the number of Do calls.
+	c, _ := Open(t.TempDir())
+	key := testKey(41)
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		Do(c, key, func() point {
+			close(entered)
+			<-gate
+			return point{Mean: 7}
+		})
+	}()
+	<-entered
+	const dups = 8
+	for i := 0; i < dups; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := Do(c, key, func() point {
+				t.Error("duplicate caller recomputed")
+				return point{}
+			})
+			if got.Mean != 7 {
+				t.Errorf("duplicate caller got %+v", got)
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let the duplicates pile onto the flight
+	close(gate)
+	wg.Wait()
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != dups {
+		t.Fatalf("stats = %+v, want 1 miss + %d hits", st, dups)
+	}
+	if st.Hits+st.Misses != dups+1 {
+		t.Fatalf("hits+misses = %d, want %d (one per Do call)", st.Hits+st.Misses, dups+1)
+	}
+}
+
+func TestPublishedEntryMode(t *testing.T) {
+	// Entries are published via os.CreateTemp, whose 0600 mode survives the
+	// rename. In a shared cache directory (concurrent runners, the daemon's
+	// store) that makes one user's entries unreadable by everyone else, so
+	// the publish path must chmod to 0644 first.
+	dir := t.TempDir()
+	c, _ := Open(dir)
+	key := testKey(42)
+	Do(c, key, func() point { return point{Mean: 1} })
+	fi, err := os.Stat(filepath.Join(dir, key.Hex()+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fi.Mode().Perm(); got != 0o644 {
+		t.Fatalf("published entry mode = %04o, want 0644", got)
 	}
 }
 

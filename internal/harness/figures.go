@@ -96,6 +96,58 @@ func Figure6With(r Runner, base LoadPointConfig) []Figure6Panel {
 	return panels
 }
 
+// Figure6PanelWith runs one pattern's figure-6 panel on an explicit Runner,
+// optionally restricted to a subset of networks and offered loads (nil
+// selects the full figure-6 grid: networks.Five() and Figure6Loads). Every
+// point's seed derives from PointSeed exactly as in Figure6With, so a panel
+// served here — e.g. by the experiment daemon — is byte-identical to the
+// same panel inside a full Figure6With run at any worker count.
+func Figure6PanelWith(r Runner, base LoadPointConfig, pattern string, kinds []networks.Kind, loads []float64) (Figure6Panel, error) {
+	if base.PacketBytes == 0 {
+		base = DefaultLoadPointConfig()
+	}
+	pat, err := traffic.ByName(pattern, base.Params.Grid)
+	if err != nil {
+		return Figure6Panel{}, err
+	}
+	if kinds == nil {
+		kinds = networks.Five()
+	}
+	if loads == nil {
+		loads = Figure6Loads(pat.Name())
+	}
+	type job struct {
+		kind networks.Kind
+		load float64
+	}
+	jobs := make([]job, 0, len(kinds)*len(loads))
+	for _, k := range kinds {
+		for _, load := range loads {
+			jobs = append(jobs, job{k, load})
+		}
+	}
+	points := runIndexed(r, len(jobs), func(i int) LoadPoint {
+		j := jobs[i]
+		cfg := base
+		cfg.Network = j.kind
+		cfg.Pattern = pat
+		cfg.Load = j.load
+		cfg.Seed = PointSeed(base.Seed, j.kind, pat.Name(), j.load)
+		return cachedLoadPoint(r.Cache, cfg)
+	})
+	panel := Figure6Panel{Pattern: pat.Name()}
+	i := 0
+	for _, k := range kinds {
+		s := SweepSeries{Network: k}
+		for range loads {
+			s.Points = append(s.Points, points[i])
+			i++
+		}
+		panel.Series = append(panel.Series, s)
+	}
+	return panel, nil
+}
+
 // RenderFigure6 renders one panel as an aligned text table (loads as rows,
 // networks as columns, mean latency in ns; saturated points marked "*").
 func RenderFigure6(panel Figure6Panel) string {

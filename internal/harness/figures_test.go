@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"macrochip/internal/networks"
+)
+
+// TestFigure6PanelMatchesFullRun pins the daemon-facing single-panel entry
+// point against the full figure-6 study: a pattern's panel must be identical
+// whether simulated alone or as part of the whole grid, because every
+// point's seed derives purely from its identity. This is the property that
+// makes the daemon's cached responses byte-identical to cmd/figures output.
+func TestFigure6PanelMatchesFullRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure-6 grid in -short mode")
+	}
+	cfg := fastCfg()
+	full := Figure6With(Runner{}, cfg)
+	byPattern := map[string]Figure6Panel{}
+	for _, p := range full {
+		byPattern[p.Pattern] = p
+	}
+	for _, pattern := range []string{"uniform", "transpose", "neighbor", "butterfly"} {
+		panel, err := Figure6PanelWith(Runner{}, cfg, pattern, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(panel, byPattern[pattern]) {
+			t.Fatalf("panel %q differs between lone and full-grid runs", pattern)
+		}
+	}
+
+	// A subset request returns exactly the corresponding full-grid points.
+	loads := []float64{0.05, 0.10}
+	sub, err := Figure6PanelWith(Runner{}, cfg, "uniform", []networks.Kind{networks.TokenRing}, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []LoadPoint
+	for _, s := range byPattern["uniform"].Series {
+		if s.Network != networks.TokenRing {
+			continue
+		}
+		for i, l := range Figure6Loads("uniform") {
+			for _, sel := range loads {
+				if l == sel {
+					want = append(want, s.Points[i])
+				}
+			}
+		}
+	}
+	if len(sub.Series) != 1 || !reflect.DeepEqual(sub.Series[0].Points, want) {
+		t.Fatalf("subset panel points differ from the full grid's")
+	}
+
+	if _, err := Figure6PanelWith(Runner{}, cfg, "no-such-pattern", nil, nil); err == nil {
+		t.Fatal("unknown pattern did not error")
+	}
+}

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"macrochip/internal/expcache"
+)
+
+// handleSubmit is POST /v1/experiments: rate-limit, decode, validate,
+// enqueue, 202.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if ok, retry := s.limiter.Allow(clientKey(r)); !ok {
+		w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
+		writeError(w, http.StatusTooManyRequests, "rate limit exceeded", "")
+		return
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var cfg ExperimentConfig
+	if err := dec.Decode(&cfg); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid experiment config: "+err.Error(), "")
+		return
+	}
+	cfg, err := cfg.normalize()
+	if err != nil {
+		var ce *ConfigError
+		if errors.As(err, &ce) {
+			writeError(w, http.StatusBadRequest, ce.Msg, ce.Field)
+		} else {
+			writeError(w, http.StatusBadRequest, err.Error(), "")
+		}
+		return
+	}
+	view, err := s.queue.Submit(cfg)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "experiment queue full", "")
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "server draining, not accepting new experiments", "")
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error(), "")
+		return
+	}
+	w.Header().Set("Location", "/v1/experiments/"+view.ID)
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+// handleList is GET /v1/experiments: every job in submission order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": s.queue.List()})
+}
+
+// handleStatus is GET /v1/experiments/{id}: one job's status document.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such experiment", "")
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleResult is GET /v1/experiments/{id}/result?format=csv|json|text.
+// format defaults to csv — the headline artifact, byte-identical to what
+// cmd/figures writes for the same config. ?wait=true blocks (within the
+// route timeout) until the job turns terminal instead of answering 409.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	done, ok := s.queue.Done(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such experiment", "")
+		return
+	}
+	if wait, _ := strconv.ParseBool(r.URL.Query().Get("wait")); wait {
+		select {
+		case <-done:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	res, view, ok := s.queue.Result(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such experiment", "")
+		return
+	}
+	if !Terminal(view.Status) {
+		writeError(w, http.StatusConflict,
+			fmt.Sprintf("experiment %s is %s; retry later or pass ?wait=true", id, view.Status), "")
+		return
+	}
+	if res == nil {
+		writeError(w, http.StatusConflict,
+			fmt.Sprintf("experiment %s %s: %s", id, view.Status, view.Error), "")
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write(res.CSV) //nolint:errcheck // response already committed
+	case "json":
+		writeJSON(w, http.StatusOK, map[string]any{"id": view.ID, "config": view.Config, "result": res.Value})
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(res.Text)) //nolint:errcheck // response already committed
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (want csv, json or text)", format), "format")
+	}
+}
+
+// progressEvent is one NDJSON line of GET /v1/experiments/{id}/events.
+type progressEvent struct {
+	Time  time.Time      `json:"time"`
+	Job   JobView        `json:"job"`
+	Cache expcache.Stats `json:"cache"`
+}
+
+// handleEvents streams job progress as NDJSON: one line immediately, one
+// per poll tick (with live shared-cache counters as the progress signal),
+// and a final line when the job turns terminal.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	done, ok := s.queue.Done(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such experiment", "")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func() bool {
+		view, ok := s.queue.Get(id)
+		if !ok {
+			return false
+		}
+		if err := enc.Encode(progressEvent{Time: s.cfg.Now(), Job: view, Cache: s.Cache().Stats()}); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return !Terminal(view.Status)
+	}
+	if !emit() {
+		return
+	}
+	ticker := time.NewTicker(s.cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-done:
+			emit()
+			return
+		case <-ticker.C:
+			if !emit() {
+				return
+			}
+		}
+	}
+}
+
+// handleHealthz is GET /healthz: liveness plus a small operational summary.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	queued, running, finished := s.queue.Counts()
+	status := "ok"
+	if s.queue.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    status,
+		"uptime_ms": s.cfg.Now().Sub(s.started).Milliseconds(),
+		"queue":     map[string]int{"queued": queued, "running": running, "finished": finished},
+		"cache":     s.cacheDoc(),
+	})
+}
+
+// handleCacheStats is GET /v1/cache/stats: the shared store's live
+// counters — the observable proof that duplicate requests collapse.
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cacheDoc())
+}
+
+func (s *Server) cacheDoc() map[string]any {
+	c := s.Cache()
+	return map[string]any{
+		"enabled": c != nil,
+		"dir":     c.Dir(),
+		"stats":   c.Stats(),
+	}
+}
+
+// clientKey is the rate-limit identity: the remote IP without the
+// ephemeral port.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

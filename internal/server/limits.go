@@ -1,0 +1,75 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Limiter is a per-client token-bucket rate limiter. Each client starts
+// with a full bucket of burst tokens that refills at rate tokens/second;
+// a submission spends one token. Buckets are created on first sight and
+// swept once they have been idle long enough to refill completely, so the
+// map stays bounded by the set of recently active clients.
+type Limiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu        sync.Mutex
+	clients   map[string]*bucket
+	lastSweep time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newLimiter(rate, burst float64, now func() time.Time) *Limiter {
+	return &Limiter{
+		rate:      rate,
+		burst:     burst,
+		now:       now,
+		clients:   map[string]*bucket{},
+		lastSweep: now(),
+	}
+}
+
+// Allow spends one token from client's bucket. When the bucket is empty it
+// reports false and the wait until the next token accrues — the HTTP layer
+// turns that into 429 + Retry-After.
+func (l *Limiter) Allow(client string) (ok bool, retryAfter time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	l.sweepLocked(now)
+	b := l.clients[client]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.clients[client] = b
+	}
+	b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := (1 - b.tokens) / l.rate
+	return false, time.Duration(math.Ceil(wait)) * time.Second
+}
+
+// sweepLocked drops buckets idle long enough to have refilled to burst —
+// indistinguishable from fresh ones — at most once per minute.
+func (l *Limiter) sweepLocked(now time.Time) {
+	if now.Sub(l.lastSweep) < time.Minute {
+		return
+	}
+	l.lastSweep = now
+	idle := time.Duration(l.burst/l.rate*float64(time.Second)) + time.Minute
+	for client, b := range l.clients {
+		if now.Sub(b.last) > idle {
+			delete(l.clients, client)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLimiterBurstAndRefill(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := newLimiter(1, 2, func() time.Time { return now })
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("a"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, retry := l.Allow("a")
+	if ok {
+		t.Fatal("third request allowed, want denied")
+	}
+	if retry < time.Second {
+		t.Fatalf("retry = %v, want ≥ 1s", retry)
+	}
+
+	// A different client has its own bucket.
+	if ok, _ := l.Allow("b"); !ok {
+		t.Fatal("fresh client denied")
+	}
+
+	// One second refills one token at rate 1/s.
+	now = now.Add(time.Second)
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatal("request after refill denied")
+	}
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatal("second request after single-token refill allowed")
+	}
+
+	// Tokens cap at the burst, not the elapsed time.
+	now = now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("a"); !ok {
+			t.Fatalf("post-idle burst request %d denied", i)
+		}
+	}
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatal("burst cap not enforced after idle period")
+	}
+}
