@@ -38,15 +38,16 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'EngineSchedule|EngineScheduleCall|DisabledInstruments' -benchtime 1x ./internal/sim ./internal/metrics
 
 # bench-json regenerates the committed kernel-performance baseline: the
-# per-network load-point benchmarks plus the miniature full sweep (uncached
-# and cold-cache variants), captured both in raw `go test -bench` form
-# ($(BENCH_BASELINE).txt, for benchstat) and as JSON ($(BENCH_BASELINE).json,
-# for dashboards and PR-to-PR diffs). BENCH_BASELINE names the committed
-# files; bump it per baseline-refreshing PR so history stays diffable.
+# per-network load-point benchmarks, the miniature full sweep (uncached and
+# cold-cache variants), and the operator-graph replay benchmarks, captured
+# both in raw `go test -bench` form ($(BENCH_BASELINE).txt, for benchstat)
+# and as JSON ($(BENCH_BASELINE).json, for dashboards and PR-to-PR diffs).
+# BENCH_BASELINE names the committed files; bump it per baseline-refreshing
+# PR so history stays diffable.
 BENCH_COUNT ?= 5
-BENCH_BASELINE ?= BENCH_pr5
+BENCH_BASELINE ?= BENCH_pr7
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkRunLoadPoint|BenchmarkLoadSweep' \
+	$(GO) test -run '^$$' -bench 'BenchmarkRunLoadPoint|BenchmarkLoadSweep|BenchmarkOpGraphReplay|BenchmarkInferenceSweep' \
 		-benchmem -count $(BENCH_COUNT) ./internal/harness | tee $(BENCH_BASELINE).txt
 	$(GO) run ./cmd/benchjson < $(BENCH_BASELINE).txt > $(BENCH_BASELINE).json
 

@@ -22,12 +22,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"macrochip"
 	"macrochip/internal/harness"
 	"macrochip/internal/metrics"
 	"macrochip/internal/networks"
 	"macrochip/internal/traffic"
+	"macrochip/internal/workload"
 )
 
 func main() {
@@ -36,7 +38,7 @@ func main() {
 	network := flag.String("network", "point-to-point", "network architecture")
 	pattern := flag.String("pattern", "", "synthetic pattern for raw-packet mode")
 	load := flag.Float64("load", 0.1, "offered load (fraction of 320 GB/s per site)")
-	wl := flag.String("workload", "", "coherence workload for benchmark mode")
+	wl := flag.String("workload", "", "coherence workload for benchmark mode: "+strings.Join(workload.Names(), ","))
 	scale := flag.Float64("scale", 1.0, "workload instruction-quota scale")
 	seed := flag.Int64("seed", 1, "random seed")
 	tracePath := flag.String("trace", "", "write a Chrome-trace JSON of the run (raw-packet mode; open in Perfetto)")

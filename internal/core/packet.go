@@ -22,13 +22,20 @@ const (
 	ClassInvalidate
 	// ClassAck is an invalidation acknowledgment or short completion.
 	ClassAck
+	// ClassTensor is an operator-graph tensor transfer (activation or
+	// weight shard moved between dependent operators, internal/opgraph).
+	ClassTensor
+	// ClassCollective is an operator-graph collective fragment (all-reduce
+	// and all-gather chunks — the all-to-all-heavy phases of LLM-inference
+	// replay).
+	ClassCollective
 	numClasses
 )
 
 // MsgClasses returns every message class in declaration order — the
 // iteration set for per-class instruments.
 func MsgClasses() []MsgClass {
-	return []MsgClass{ClassData, ClassRequest, ClassInvalidate, ClassAck}
+	return []MsgClass{ClassData, ClassRequest, ClassInvalidate, ClassAck, ClassTensor, ClassCollective}
 }
 
 // String returns the class name.
@@ -42,6 +49,10 @@ func (c MsgClass) String() string {
 		return "invalidate"
 	case ClassAck:
 		return "ack"
+	case ClassTensor:
+		return "tensor"
+	case ClassCollective:
+		return "collective"
 	}
 	return fmt.Sprintf("class(%d)", uint8(c))
 }

@@ -1,6 +1,9 @@
 package harness
 
 import (
+	"fmt"
+	"strconv"
+
 	"macrochip/internal/core"
 	"macrochip/internal/cpu"
 	"macrochip/internal/expcache"
@@ -129,6 +132,49 @@ func cachedResiliencePoint(cache *expcache.Cache, cfg ResilienceConfig, k networ
 	return expcache.Do(cache, resiliencePointKey(cfg, k, c, rate), func() ResiliencePoint {
 		return RunResiliencePoint(cfg, k, c, rate)
 	})
+}
+
+// inferencePointKey addresses one (network, graph, batch, seq) inference
+// cell: Params, the cell identity, the transfer MTU and retry/jitter
+// settings, both derived seeds (construction and replay), and — for
+// user-supplied graphs — the full graph content, so two different custom
+// DAGs sharing a name can never collide.
+func inferencePointKey(cfg InferenceConfig, k networks.Kind, graph string, batch, seq int) expcache.Key {
+	b := expcache.NewKey(ModelSalt).
+		Str("kind", "inference").
+		Struct("params", cfg.Params).
+		Str("network", string(k)).
+		Str("graph", graph).
+		Int("batch", int64(batch)).
+		Int("seq", int64(seq)).
+		Int("packet_bytes", int64(cfg.PacketBytes)).
+		Int("retry_timeout_ps", int64(cfg.Retry.Timeout)).
+		Int("retry_max", int64(cfg.Retry.MaxRetries)).
+		Float("jitter", cfg.JitterFrac).
+		Str("fault_wrap", strconv.FormatBool(cfg.FaultWrap)).
+		Int("graph_seed", GraphSeed(cfg.Seed, graph, batch, seq)).
+		Int("seed", InferenceSeed(cfg.Seed, k, graph, batch, seq))
+	if cfg.Custom != nil && cfg.Custom.Name == graph {
+		b = b.Struct("custom", cfg.Custom)
+	}
+	return b.Sum()
+}
+
+// cachedInferencePoint is RunInferencePoint behind the cache. The config is
+// validated before fan-out (InferenceStudyWith), so a run error here is a
+// bug, not bad input.
+func cachedInferencePoint(c *expcache.Cache, cfg InferenceConfig, k networks.Kind, graph string, batch, seq int) InferencePoint {
+	run := func() InferencePoint {
+		pt, err := RunInferencePoint(cfg, k, graph, batch, seq)
+		if err != nil {
+			panic(fmt.Sprintf("harness: inference point (%s, %s, %d, %d) failed after validation: %v", k, graph, batch, seq, err))
+		}
+		return pt
+	}
+	if c == nil {
+		return run()
+	}
+	return expcache.Do(c, inferencePointKey(cfg, k, graph, batch, seq), run)
 }
 
 // saturationKey addresses one full bisection search: the probed config plus

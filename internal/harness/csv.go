@@ -129,6 +129,40 @@ func WriteResilienceCSV(w io.Writer, points []ResiliencePoint) error {
 	return cw.Error()
 }
 
+// WriteInferenceCSV emits the inference sweep as
+// network,graph,batch,seq,ops,edges,makespan_ns,delivered_gbs,mean_ns,tensor_pkts,collective_pkts,transfers,bytes,retries,aborts,stalled.
+func WriteInferenceCSV(w io.Writer, points []InferencePoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"network", "graph", "batch", "seq", "ops", "edges", "makespan_ns", "delivered_gbs", "mean_ns", "tensor_pkts", "collective_pkts", "transfers", "bytes", "retries", "aborts", "stalled"}); err != nil {
+		return err
+	}
+	for _, pt := range points {
+		rec := []string{
+			string(pt.Network),
+			pt.Graph,
+			strconv.Itoa(pt.Batch),
+			strconv.Itoa(pt.Seq),
+			strconv.Itoa(pt.Ops),
+			strconv.Itoa(pt.Edges),
+			f(pt.Makespan.Nanoseconds()),
+			f(pt.DeliveredGBs),
+			f(pt.MeanLatency.Nanoseconds()),
+			strconv.FormatUint(pt.TensorPkts, 10),
+			strconv.FormatUint(pt.CollectivePkts, 10),
+			strconv.Itoa(pt.Transfers),
+			strconv.FormatUint(pt.BytesMoved, 10),
+			strconv.FormatUint(pt.Retries, 10),
+			strconv.FormatUint(pt.Aborts, 10),
+			strconv.FormatBool(pt.Stalled),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteMetricsCSV emits a registry's probed time series in long form as
 // metric,t_ns,value — one row per (instrument, probe tick), instruments in
 // name order. Counters appear as cumulative counts (diff consecutive rows

@@ -1,0 +1,294 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"macrochip/internal/core"
+	"macrochip/internal/fault"
+	"macrochip/internal/networks"
+	"macrochip/internal/opgraph"
+	"macrochip/internal/sim"
+	"macrochip/internal/traffic"
+)
+
+// The inference study replays operator graphs (internal/opgraph) — the
+// dependency-scheduled, bandwidth-bursty traffic of LLM inference — across
+// the six networks, at a grid of batch/sequence scale points. Where the
+// figure-6 study asks "how much uniform random load can each network
+// absorb", this one asks "how fast does each network finish a fixed
+// dependency structure", which is the question multi-chip inference systems
+// actually pose.
+
+// InferenceConfig describes one inference sweep.
+type InferenceConfig struct {
+	Params core.Params
+	// Networks selects the network axis; nil means all six.
+	Networks []networks.Kind
+	// Graphs names the built-in presets to replay; nil means all of
+	// opgraph.PresetNames() (or just Custom when one is supplied).
+	Graphs []string
+	// Custom, when non-nil, is a user-supplied graph (cmd/inference
+	// -graph-json) addressed by its Name in the Graphs axis.
+	Custom *opgraph.Graph
+	// Batches and SeqLens are the scale axes fed to the graph presets;
+	// nil means {1} and {16}. A custom graph ignores them (its structure
+	// is fixed) but still sweeps once per pair for uniform row identity.
+	Batches []int
+	SeqLens []int
+	// PacketBytes is the transfer MTU (opgraph.DefaultMTU when zero).
+	PacketBytes int
+	// Retry is the per-segment recovery policy (zero = disabled, the
+	// loss-free default).
+	Retry traffic.RetryPolicy
+	// JitterFrac adds seeded compute-window jitter (straggler modeling).
+	JitterFrac float64
+	// FaultWrap wraps every replay's network in the fault.Network decorator
+	// (with no fault plan installed). An idle decorator is byte-identical to
+	// none at all — pinned by the conformance tests — and the field is the
+	// hook a future fault-schedule sweep will layer onto.
+	FaultWrap bool
+	Seed      int64
+}
+
+// DefaultInferenceConfig sweeps every preset on every network at two batch
+// and two sequence scale points.
+func DefaultInferenceConfig() InferenceConfig {
+	return InferenceConfig{
+		Params:  core.DefaultParams(),
+		Batches: []int{1, 8},
+		SeqLens: []int{16, 64},
+		Seed:    1,
+	}
+}
+
+// QuickInferenceConfig is the one-point-per-graph sweep shared verbatim by
+// the golden-CSV test, `cmd/inference -quick`, and the daemon's quick
+// inference experiment — the acceptance surface for cross-frontend
+// byte-identity.
+func QuickInferenceConfig() InferenceConfig {
+	return InferenceConfig{
+		Params:  core.DefaultParams(),
+		Batches: []int{1},
+		SeqLens: []int{16},
+		Seed:    1,
+	}
+}
+
+// InferencePoint is one (network, graph, batch, seq) cell of the sweep.
+type InferencePoint struct {
+	Network    networks.Kind
+	Graph      string
+	Batch, Seq int
+	// Ops and Edges describe the replayed graph's size.
+	Ops, Edges int
+	// Makespan is the completion time of the last operator.
+	Makespan sim.Time
+	// DeliveredGBs is the average network goodput over the makespan:
+	// delivered tensor payload / makespan.
+	DeliveredGBs float64
+	MeanLatency  sim.Time
+	// TensorPkts and CollectivePkts are the per-class delivery counts —
+	// the split between point-to-point activations and collective chunks.
+	TensorPkts     uint64
+	CollectivePkts uint64
+	Transfers      int
+	BytesMoved     uint64
+	Retries        uint64
+	Aborts         uint64
+	// Stalled marks a replay that deadlocked on lost dependencies.
+	Stalled bool
+	// Events counts kernel events dispatched by the replay (the benchmark
+	// denominator; not a CSV column).
+	Events uint64
+}
+
+// InferenceSeed derives one replay's seed purely from its identity, with
+// the same any-worker-count reproducibility guarantee as PointSeed.
+func InferenceSeed(base int64, k networks.Kind, graph string, batch, seq int) int64 {
+	return sim.DeriveSeed(base,
+		sim.StringLabel(string(k)), sim.StringLabel(graph), uint64(batch), uint64(seq))
+}
+
+// GraphSeed derives the graph-construction seed. It deliberately excludes
+// the network: all six networks replay the structurally identical graph, so
+// makespans are comparable across the network axis.
+func GraphSeed(base int64, graph string, batch, seq int) int64 {
+	return sim.DeriveSeed(base,
+		sim.StringLabel("opgraph-build"), sim.StringLabel(graph), uint64(batch), uint64(seq))
+}
+
+// inferenceGraph materializes the graph for one cell.
+func inferenceGraph(cfg InferenceConfig, graph string, batch, seq int) (*opgraph.Graph, error) {
+	if cfg.Custom != nil && cfg.Custom.Name == graph {
+		return cfg.Custom, nil
+	}
+	return opgraph.Preset(graph, cfg.Params.Grid, batch, seq, GraphSeed(cfg.Seed, graph, batch, seq))
+}
+
+// RunInferencePoint replays one cell: the graph built from the cell's pure
+// construction seed, replayed on a fresh network.
+func RunInferencePoint(cfg InferenceConfig, k networks.Kind, graph string, batch, seq int) (InferencePoint, error) {
+	g, err := inferenceGraph(cfg, graph, batch, seq)
+	if err != nil {
+		return InferencePoint{}, err
+	}
+	eng := sim.NewEngine()
+	stats := core.NewStats(0)
+	var net core.Network = networks.MustNew(k, eng, cfg.Params, stats)
+	if cfg.FaultWrap {
+		net = fault.Wrap(eng, cfg.Params, net, InferenceSeed(cfg.Seed, k, graph, batch, seq))
+	}
+	r := &opgraph.Replay{
+		Eng:         eng,
+		Params:      cfg.Params,
+		Net:         net,
+		Graph:       g,
+		PacketBytes: cfg.PacketBytes,
+		Seed:        InferenceSeed(cfg.Seed, k, graph, batch, seq),
+		Retry:       cfg.Retry,
+		JitterFrac:  cfg.JitterFrac,
+	}
+	if err := r.Start(); err != nil {
+		return InferencePoint{}, err
+	}
+	eng.Run()
+	res := r.Result()
+	pt := InferencePoint{
+		Network:        k,
+		Graph:          graph,
+		Batch:          batch,
+		Seq:            seq,
+		Ops:            len(g.Ops),
+		Edges:          len(g.Edges),
+		Makespan:       res.Makespan,
+		MeanLatency:    stats.MeanLatency(),
+		TensorPkts:     stats.PerClass[core.ClassTensor],
+		CollectivePkts: stats.PerClass[core.ClassCollective],
+		Transfers:      res.TransfersDone,
+		BytesMoved:     res.BytesMoved,
+		Retries:        stats.Retries,
+		Aborts:         stats.Aborts,
+		Stalled:        res.Stalled,
+		Events:         eng.Executed(),
+	}
+	if res.Makespan > 0 {
+		// bytes/ps → GB/s, as in Stats.ThroughputGBs.
+		pt.DeliveredGBs = float64(res.BytesMoved) / float64(res.Makespan) * 1000
+	}
+	return pt, nil
+}
+
+// validate checks the sweep axes before fan-out, so a bad graph name fails
+// fast instead of surfacing from the middle of a parallel study.
+func (cfg InferenceConfig) validate() error {
+	for _, g := range cfg.graphs() {
+		if cfg.Custom != nil && cfg.Custom.Name == g {
+			if err := cfg.Custom.Validate(cfg.Params.Grid); err != nil {
+				return err
+			}
+			continue
+		}
+		found := false
+		for _, p := range opgraph.PresetNames() {
+			if p == g {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("harness: unknown inference graph %q (presets: %s)",
+				g, strings.Join(opgraph.PresetNames(), ", "))
+		}
+	}
+	for _, b := range cfg.batches() {
+		if b < 1 {
+			return fmt.Errorf("harness: inference batch %d < 1", b)
+		}
+	}
+	for _, s := range cfg.seqLens() {
+		if s < 1 {
+			return fmt.Errorf("harness: inference seq %d < 1", s)
+		}
+	}
+	return nil
+}
+
+func (cfg InferenceConfig) graphs() []string {
+	if cfg.Graphs != nil {
+		return cfg.Graphs
+	}
+	if cfg.Custom != nil {
+		return []string{cfg.Custom.Name}
+	}
+	return opgraph.PresetNames()
+}
+
+func (cfg InferenceConfig) batches() []int {
+	if cfg.Batches != nil {
+		return cfg.Batches
+	}
+	return []int{1}
+}
+
+func (cfg InferenceConfig) seqLens() []int {
+	if cfg.SeqLens != nil {
+		return cfg.SeqLens
+	}
+	return []int{16}
+}
+
+// InferenceStudy sweeps network × graph × batch × seq on the default
+// parallel Runner.
+func InferenceStudy(cfg InferenceConfig) ([]InferencePoint, error) {
+	return InferenceStudyWith(Runner{}, cfg)
+}
+
+// InferenceStudyWith is InferenceStudy on an explicit Runner. Points are
+// slotted by index and seeded by InferenceSeed/GraphSeed, so output is
+// byte-identical at every worker count.
+func InferenceStudyWith(r Runner, cfg InferenceConfig) ([]InferencePoint, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	kinds := cfg.Networks
+	if kinds == nil {
+		kinds = networks.Six()
+	}
+	graphs, batches, seqs := cfg.graphs(), cfg.batches(), cfg.seqLens()
+	type job struct {
+		k          networks.Kind
+		graph      string
+		batch, seq int
+	}
+	jobs := make([]job, 0, len(kinds)*len(graphs)*len(batches)*len(seqs))
+	for _, k := range kinds {
+		for _, g := range graphs {
+			for _, b := range batches {
+				for _, s := range seqs {
+					jobs = append(jobs, job{k, g, b, s})
+				}
+			}
+		}
+	}
+	return runIndexed(r, len(jobs), func(i int) InferencePoint {
+		j := jobs[i]
+		return cachedInferencePoint(r.Cache, cfg, j.k, j.graph, j.batch, j.seq)
+	}), nil
+}
+
+// RenderInference renders the sweep as an aligned text table, one row per
+// (network, graph, batch, seq) point.
+func RenderInference(points []InferencePoint) string {
+	var b strings.Builder
+	b.WriteString("Inference replay — operator-graph makespan per network\n")
+	fmt.Fprintf(&b, "%-24s %-20s %6s %5s %6s %8s %13s %12s %10s %8s %8s\n",
+		"network", "graph", "batch", "seq", "ops", "edges", "makespan (ns)", "thru (GB/s)", "mean (ns)", "retries", "stalled")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%-24s %-20s %6d %5d %6d %8d %13.1f %12.1f %10.1f %8d %8v\n",
+			pt.Network, pt.Graph, pt.Batch, pt.Seq, pt.Ops, pt.Edges,
+			pt.Makespan.Nanoseconds(), pt.DeliveredGBs, pt.MeanLatency.Nanoseconds(),
+			pt.Retries, pt.Stalled)
+	}
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"testing"
+
+	"macrochip/internal/networks"
+)
+
+// BenchmarkOpGraphReplay times one prefill replay per network — the
+// operator-graph hot path (dependency scheduling + segmented transfers on
+// the kernel's closure-free delivery chain). Reported in events/sec like
+// BenchmarkRunLoadPoint, so BENCH_*.json tracks both traffic engines on
+// the same axis.
+func BenchmarkOpGraphReplay(b *testing.B) {
+	cfg := QuickInferenceConfig()
+	for _, k := range networks.Six() {
+		b.Run(string(k), func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				pt, err := RunInferencePoint(cfg, k, "prefill", 1, 16)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if pt.Stalled {
+					b.Fatal("benchmark replay stalled")
+				}
+				events += pt.Events
+			}
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(events)/s, "events/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkInferenceSweep times the full quick inference study — every
+// network × every preset, run serially so the number measures single-run
+// replay cost rather than scheduler luck (the BenchmarkLoadSweep shape).
+func BenchmarkInferenceSweep(b *testing.B) {
+	cfg := QuickInferenceConfig()
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		points, err := InferenceStudyWith(Serial, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range points {
+			events += pt.Events
+		}
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s, "events/sec")
+	}
+}

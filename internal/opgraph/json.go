@@ -1,0 +1,88 @@
+package opgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"macrochip/internal/geometry"
+	"macrochip/internal/sim"
+)
+
+// JSON graph format for user-supplied DAGs (cmd/inference -graph-json):
+//
+//	{
+//	  "name": "my-layer",
+//	  "ops": [
+//	    {"kind": "attention", "site": 0, "compute_ps": 200},
+//	    {"kind": "all-reduce", "site": 1, "compute_ps": 100}
+//	  ],
+//	  "edges": [
+//	    {"from": 0, "to": 1, "bytes": 4096}
+//	  ]
+//	}
+//
+// Kinds use the Kind.String names; sites are row-major indices on the run's
+// grid; compute windows are picoseconds. The loader rejects unknown fields
+// and validates the result against the grid (DAG check included).
+
+type jsonGraph struct {
+	Name  string     `json:"name"`
+	Ops   []jsonOp   `json:"ops"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonOp struct {
+	Kind      string `json:"kind"`
+	Site      int    `json:"site"`
+	ComputePS int64  `json:"compute_ps"`
+}
+
+type jsonEdge struct {
+	From  int `json:"from"`
+	To    int `json:"to"`
+	Bytes int `json:"bytes"`
+}
+
+// LoadJSON decodes and validates one graph from r.
+func LoadJSON(r io.Reader, grid geometry.Grid) (*Graph, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var jg jsonGraph
+	if err := dec.Decode(&jg); err != nil {
+		return nil, fmt.Errorf("opgraph: decoding graph JSON: %w", err)
+	}
+	if jg.Name == "" {
+		return nil, fmt.Errorf("opgraph: graph JSON needs a non-empty name")
+	}
+	g := &Graph{Name: jg.Name}
+	for i, jo := range jg.Ops {
+		k, err := ParseKind(jo.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("opgraph: op %d: %w", i, err)
+		}
+		g.Ops = append(g.Ops, Op{Kind: k, Site: geometry.SiteID(jo.Site), Compute: sim.Duration(jo.ComputePS)})
+	}
+	for _, je := range jg.Edges {
+		g.Edges = append(g.Edges, Edge{From: je.From, To: je.To, Bytes: je.Bytes})
+	}
+	if err := g.Validate(grid); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// LoadJSONFile reads one graph from the named file.
+func LoadJSONFile(path string, grid geometry.Grid) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("opgraph: %w", err)
+	}
+	defer f.Close()
+	g, err := LoadJSON(f, grid)
+	if err != nil {
+		return nil, fmt.Errorf("opgraph: %s: %w", path, err)
+	}
+	return g, nil
+}

@@ -9,20 +9,22 @@ import (
 	"macrochip/internal/fault"
 	"macrochip/internal/harness"
 	"macrochip/internal/networks"
+	"macrochip/internal/opgraph"
 	"macrochip/internal/sim"
 	"macrochip/internal/traffic"
 	"macrochip/internal/workload"
 )
 
 // ExperimentConfig is the request body of POST /v1/experiments: one
-// experiment of one of the four study kinds. Every field that feeds a
+// experiment of one of the five study kinds. Every field that feeds a
 // simulation flows into the same harness entry points cmd/figures,
-// cmd/report and cmd/resilience call with the same defaults, and every
-// point's seed derives purely from (seed, point identity), so a daemon
-// response is byte-identical to the CLI output for the same config — and
-// content-addressable in the shared result cache.
+// cmd/report, cmd/resilience and cmd/inference call with the same
+// defaults, and every point's seed derives purely from (seed, point
+// identity), so a daemon response is byte-identical to the CLI output for
+// the same config — and content-addressable in the shared result cache.
 type ExperimentConfig struct {
-	// Kind selects the study: "figure6", "study", "scaling", "resilience".
+	// Kind selects the study: "figure6", "study", "scaling", "resilience",
+	// "inference".
 	Kind string `json:"kind"`
 	// Seed is the base random seed; 0 means the CLI default of 1.
 	Seed int64 `json:"seed,omitempty"`
@@ -57,6 +59,13 @@ type ExperimentConfig struct {
 	Rates      []float64 `json:"rates,omitempty"`
 	Load       float64   `json:"load,omitempty"`
 	MTTRMicros float64   `json:"mttr_us,omitempty"`
+
+	// Graphs, Batches and SeqLens configure kind "inference", mirroring
+	// cmd/inference's -graphs/-batches/-seqs flags (presets only — the
+	// -graph-json escape hatch stays CLI-local).
+	Graphs  []string `json:"graphs,omitempty"`
+	Batches []int    `json:"batches,omitempty"`
+	SeqLens []int    `json:"seq_lens,omitempty"`
 }
 
 // maxWindowNS bounds warmup+measure overrides so one request cannot pin a
@@ -152,10 +161,32 @@ func (cfg ExperimentConfig) normalize() (ExperimentConfig, error) {
 		if cfg.MTTRMicros < 0 {
 			return cfg, badField("mttr_us", "negative MTTR")
 		}
+	case "inference":
+		if _, err := parseKinds(cfg.Networks, networks.Six()); err != nil {
+			return cfg, err
+		}
+		for _, g := range cfg.Graphs {
+			if !isPreset(g) {
+				return cfg, badField("graphs", "unknown graph preset %q (have %s)", g, strings.Join(opgraph.PresetNames(), ", "))
+			}
+		}
+		if len(cfg.Batches) > 8 || len(cfg.SeqLens) > 8 {
+			return cfg, badField("batches", "at most 8 batches and 8 seq_lens per request")
+		}
+		for _, b := range cfg.Batches {
+			if b < 1 || b > 64 {
+				return cfg, badField("batches", "batch %d outside [1, 64]", b)
+			}
+		}
+		for _, s := range cfg.SeqLens {
+			if s < 1 || s > 512 {
+				return cfg, badField("seq_lens", "seq %d outside [1, 512]", s)
+			}
+		}
 	case "":
-		return cfg, badField("kind", "kind is required (figure6, study, scaling or resilience)")
+		return cfg, badField("kind", "kind is required (figure6, study, scaling, resilience or inference)")
 	default:
-		return cfg, badField("kind", "unknown kind %q (want figure6, study, scaling or resilience)", cfg.Kind)
+		return cfg, badField("kind", "unknown kind %q (want figure6, study, scaling, resilience or inference)", cfg.Kind)
 	}
 	return cfg, nil
 }
@@ -205,8 +236,20 @@ func (cfg ExperimentConfig) run(r harness.Runner) (*Result, error) {
 		return cfg.runScaling(r)
 	case "resilience":
 		return cfg.runResilience(r)
+	case "inference":
+		return cfg.runInference(r)
 	}
 	return nil, badField("kind", "unknown kind %q", cfg.Kind)
+}
+
+// isPreset reports whether g names a built-in operator-graph preset.
+func isPreset(g string) bool {
+	for _, p := range opgraph.PresetNames() {
+		if p == g {
+			return true
+		}
+	}
+	return false
 }
 
 func (cfg ExperimentConfig) runFigure6(r harness.Runner) (*Result, error) {
@@ -314,4 +357,38 @@ func (cfg ExperimentConfig) runResilience(r harness.Runner) (*Result, error) {
 		return nil, err
 	}
 	return &Result{CSV: csv.Bytes(), Text: harness.RenderResilience(points), Value: points}, nil
+}
+
+func (cfg ExperimentConfig) runInference(r harness.Runner) (*Result, error) {
+	icfg := harness.DefaultInferenceConfig()
+	if cfg.Quick {
+		// The quick sweep is the golden-pinned config shared with
+		// `cmd/inference -quick`, so quick daemon responses are
+		// byte-identical to the committed inference.csv.golden.
+		icfg = harness.QuickInferenceConfig()
+	}
+	icfg.Seed = cfg.Seed
+	kinds, err := parseKinds(cfg.Networks, networks.Six())
+	if err != nil {
+		return nil, err
+	}
+	icfg.Networks = kinds
+	if cfg.Graphs != nil {
+		icfg.Graphs = cfg.Graphs
+	}
+	if cfg.Batches != nil {
+		icfg.Batches = cfg.Batches
+	}
+	if cfg.SeqLens != nil {
+		icfg.SeqLens = cfg.SeqLens
+	}
+	points, err := harness.InferenceStudyWith(r, icfg)
+	if err != nil {
+		return nil, err
+	}
+	var csv bytes.Buffer
+	if err := harness.WriteInferenceCSV(&csv, points); err != nil {
+		return nil, err
+	}
+	return &Result{CSV: csv.Bytes(), Text: harness.RenderInference(points), Value: points}, nil
 }

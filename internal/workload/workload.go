@@ -16,6 +16,7 @@ package workload
 
 import (
 	"fmt"
+	"strings"
 
 	"macrochip/internal/cpu"
 	"macrochip/internal/geometry"
@@ -126,6 +127,18 @@ func All(g geometry.Grid, s Scale) []cpu.Benchmark {
 	return append(Applications(g, s), Synthetics(g, s)...)
 }
 
+// Names returns the eleven workload labels in the paper's figure order —
+// the valid inputs to ByName, exported so command-line help and error
+// messages enumerate the same list the lookup accepts.
+func Names() []string {
+	bs := All(geometry.Default8x8(), 1)
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.Name
+	}
+	return names
+}
+
 // ByName finds a workload by its figure label.
 func ByName(name string, g geometry.Grid, s Scale) (cpu.Benchmark, error) {
 	for _, b := range All(g, s) {
@@ -133,5 +146,6 @@ func ByName(name string, g geometry.Grid, s Scale) (cpu.Benchmark, error) {
 			return b, nil
 		}
 	}
-	return cpu.Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	return cpu.Benchmark{}, fmt.Errorf("workload: unknown benchmark %q (have %s)",
+		name, strings.Join(Names(), ", "))
 }

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"strings"
 	"testing"
 
 	"macrochip/internal/geometry"
@@ -109,5 +110,36 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := ByName("nope", g(), 1); err == nil {
 		t.Fatal("ByName(nope) should fail")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	all := All(g(), 1)
+	if len(names) != len(all) {
+		t.Fatalf("Names() has %d entries, want %d", len(names), len(all))
+	}
+	for i, b := range all {
+		if names[i] != b.Name {
+			t.Errorf("Names()[%d] = %q, want %q (figure order)", i, names[i], b.Name)
+		}
+	}
+	// Every listed name must resolve, so help text and lookup agree.
+	for _, n := range names {
+		if _, err := ByName(n, g(), 1); err != nil {
+			t.Errorf("ByName(%q) = %v, want ok", n, err)
+		}
+	}
+}
+
+func TestByNameErrorEnumeratesNames(t *testing.T) {
+	_, err := ByName("nope", g(), 1)
+	if err == nil {
+		t.Fatal("ByName(nope) should fail")
+	}
+	for _, n := range Names() {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("error %q does not list %q", err, n)
+		}
 	}
 }

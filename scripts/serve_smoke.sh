@@ -3,10 +3,10 @@
 # `make serve-smoke` (part of `make check`).
 #
 # Boots the daemon on an ephemeral port with a throwaway cache directory,
-# checks /healthz, runs one tiny scaling experiment through the full
-# POST → wait → CSV round trip, re-submits the identical config to prove it
-# comes back as a cache hit, then shuts down via SIGTERM and requires a
-# clean (exit 0) graceful drain.
+# checks /healthz, runs one tiny scaling experiment and one tiny inference
+# experiment through the full POST → wait → CSV round trip, re-submits each
+# identical config to prove it comes back as a byte-identical cache hit,
+# then shuts down via SIGTERM and requires a clean (exit 0) graceful drain.
 set -eu
 
 if ! command -v curl >/dev/null 2>&1; then
@@ -82,6 +82,40 @@ curl -fsS "$base/v1/cache/stats" | grep -q '"Hits": [1-9]' || {
     exit 1
 }
 
+# A tiny inference experiment: the operator-graph kind end to end, with the
+# same cache-hit + byte-identity requirements.
+submit_inference() {
+    curl -fsS -X POST "$base/v1/experiments" \
+        -d '{"kind":"inference","quick":true,"networks":["point-to-point"],"graphs":["tensor-parallel-ffn"]}' |
+        sed -n 's/.*"id": "\(exp-[0-9]*\)".*/\1/p'
+}
+
+iid=$(submit_inference)
+[ -n "$iid" ] || { echo "serve-smoke: inference submission returned no id" >&2; exit 1; }
+curl -fsS "$base/v1/experiments/$iid/result?wait=true&format=csv" >"$tmp/inference1.csv"
+head -1 "$tmp/inference1.csv" | grep -q '^network,graph,batch,' || {
+    echo "serve-smoke: unexpected inference CSV:" >&2
+    cat "$tmp/inference1.csv" >&2
+    exit 1
+}
+grep -q 'tensor-parallel-ffn' "$tmp/inference1.csv" || {
+    echo "serve-smoke: inference CSV missing the requested graph" >&2
+    exit 1
+}
+
+hits_before=$(curl -fsS "$base/v1/cache/stats" | sed -n 's/.*"Hits": \([0-9]*\).*/\1/p')
+iid2=$(submit_inference)
+curl -fsS "$base/v1/experiments/$iid2/result?wait=true&format=csv" >"$tmp/inference2.csv"
+cmp -s "$tmp/inference1.csv" "$tmp/inference2.csv" || {
+    echo "serve-smoke: identical inference configs returned different CSV bytes" >&2
+    exit 1
+}
+hits_after=$(curl -fsS "$base/v1/cache/stats" | sed -n 's/.*"Hits": \([0-9]*\).*/\1/p')
+[ "${hits_after:-0}" -gt "${hits_before:-0}" ] || {
+    echo "serve-smoke: duplicate inference experiment produced no cache hits" >&2
+    exit 1
+}
+
 # SIGTERM must drain gracefully and exit 0.
 kill -TERM "$pid"
 if ! wait "$pid"; then
@@ -91,4 +125,4 @@ if ! wait "$pid"; then
 fi
 pid=""
 
-echo "serve-smoke: ok ($base, 2 experiments, cached second run)"
+echo "serve-smoke: ok ($base, 4 experiments, cached re-runs)"
