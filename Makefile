@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt staticcheck bench-smoke bench-json bench-compare serve-smoke check figures report
+.PHONY: build test race vet fmt staticcheck bench-smoke bench-json bench-compare serve-smoke shard-identity check figures report
 
 build:
 	$(GO) build ./...
@@ -39,15 +39,16 @@ bench-smoke:
 
 # bench-json regenerates the committed kernel-performance baseline: the
 # per-network load-point benchmarks, the miniature full sweep (uncached and
-# cold-cache variants), and the operator-graph replay benchmarks, captured
-# both in raw `go test -bench` form ($(BENCH_BASELINE).txt, for benchstat)
-# and as JSON ($(BENCH_BASELINE).json, for dashboards and PR-to-PR diffs).
-# BENCH_BASELINE names the committed files; bump it per baseline-refreshing
-# PR so history stays diffable.
+# cold-cache variants), the operator-graph replay benchmarks, and the
+# sharded-kernel benchmark (serial vs 2 vs 4 shards on the high-load 8×8
+# point), captured both in raw `go test -bench` form ($(BENCH_BASELINE).txt,
+# for benchstat) and as JSON ($(BENCH_BASELINE).json, for dashboards and
+# PR-to-PR diffs). BENCH_BASELINE names the committed files; bump it per
+# baseline-refreshing PR so history stays diffable.
 BENCH_COUNT ?= 5
-BENCH_BASELINE ?= BENCH_pr7
+BENCH_BASELINE ?= BENCH_pr8
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkRunLoadPoint|BenchmarkLoadSweep|BenchmarkOpGraphReplay|BenchmarkInferenceSweep' \
+	$(GO) test -run '^$$' -bench 'BenchmarkRunLoadPoint|BenchmarkLoadSweep|BenchmarkOpGraphReplay|BenchmarkInferenceSweep|BenchmarkShardedLoadPoint' \
 		-benchmem -count $(BENCH_COUNT) ./internal/harness | tee $(BENCH_BASELINE).txt
 	$(GO) run ./cmd/benchjson < $(BENCH_BASELINE).txt > $(BENCH_BASELINE).json
 
@@ -66,6 +67,13 @@ bench-compare:
 		benchstat $(BENCH_BASELINE).txt /tmp/bench_head.txt || true; \
 	fi
 
+# shard-identity is the sharded-vs-serial byte-identity gate: the committed
+# figure-6 and inference goldens must be reproduced exactly at -shards 1 and
+# -shards 4, and the full LoadPoint struct must match the serial kernel at
+# every shard count across operating points.
+shard-identity:
+	$(GO) test -count=1 -run 'TestShardCountInvariance|TestShardedFigure6GoldenIdentity|TestShardedInferenceGoldenIdentity|TestShardedFallbackNetworksIdentical' ./internal/harness
+
 # serve-smoke boots cmd/macrochipd on an ephemeral port with a throwaway
 # cache, drives one tiny experiment through the HTTP API twice (the second
 # must be a cache hit with byte-identical CSV), and requires a clean SIGTERM
@@ -74,8 +82,9 @@ serve-smoke:
 	@sh scripts/serve_smoke.sh
 
 # check is the pre-merge gate: vet + formatting + lint + tests + race
-# detector + benchmark smoke + daemon smoke + report-only perf comparison.
-check: vet fmt staticcheck test race bench-smoke serve-smoke bench-compare
+# detector + sharded-kernel byte-identity + benchmark smoke + daemon smoke +
+# report-only perf comparison.
+check: vet fmt staticcheck test race shard-identity bench-smoke serve-smoke bench-compare
 
 figures:
 	$(GO) run ./cmd/figures -all

@@ -44,11 +44,12 @@ func main() {
 	graphJSON := flag.String("graph-json", "", "replay a user-supplied DAG from this JSON file instead of the presets")
 	batches := flag.String("batches", "", "comma-separated batch sizes (default: 1,8)")
 	seqs := flag.String("seqs", "", "comma-separated sequence lengths (default: 16,64)")
-	mtu := flag.Int("mtu", 0, "transfer packet size in bytes (default 4096)")
+	mtu := flag.Int("mtu", 0, "transfer packet size in bytes (0 = the graph's own MTU, then 4096; negative is rejected)")
 	jitter := flag.Float64("jitter", 0, "compute-window jitter fraction (0 = none)")
 	quick := flag.Bool("quick", false, "run the golden-pinned quick sweep (one point per graph)")
 	seed := flag.Int64("seed", 1, "random seed")
 	jobs := flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
+	shards := flag.Int("shards", 0, "event-kernel shards (reserved: the inference replay always runs the serial kernel; accepted for CLI uniformity)")
 	csvPath := flag.String("csv", "", "also write the sweep as CSV to this file")
 	cacheDir := flag.String("cache-dir", expcache.DefaultDir(), `experiment result cache directory ("" disables)`)
 	noCache := flag.Bool("no-cache", false, "disable the experiment result cache")
@@ -85,6 +86,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.PacketBytes = *mtu
 	cfg.JitterFrac = *jitter
+	cfg.Shards = *shards
 	if *nets != "" {
 		for _, s := range strings.Split(*nets, ",") {
 			k := networks.Kind(strings.TrimSpace(s))

@@ -36,7 +36,8 @@ type InferenceConfig struct {
 	// is fixed) but still sweeps once per pair for uniform row identity.
 	Batches []int
 	SeqLens []int
-	// PacketBytes is the transfer MTU (opgraph.DefaultMTU when zero).
+	// PacketBytes is the transfer MTU. Zero defers to the graph's own MTU
+	// and then opgraph.DefaultMTU; negative values are rejected by validate.
 	PacketBytes int
 	// Retry is the per-segment recovery policy (zero = disabled, the
 	// loss-free default).
@@ -49,6 +50,13 @@ type InferenceConfig struct {
 	// hook a future fault-schedule sweep will layer onto.
 	FaultWrap bool
 	Seed      int64
+
+	// Shards mirrors LoadPointConfig.Shards so -shards means the same thing
+	// on every CLI. Reserved: the replay's dependency scheduler is global
+	// (one DAG state, one site-occupancy table), so inference points always
+	// run the serial reference kernel and every non-negative value produces
+	// byte-identical output; negative values are rejected by validate.
+	Shards int
 }
 
 // DefaultInferenceConfig sweeps every preset on every network at two batch
@@ -179,9 +187,16 @@ func RunInferencePoint(cfg InferenceConfig, k networks.Kind, graph string, batch
 	return pt, nil
 }
 
-// validate checks the sweep axes before fan-out, so a bad graph name fails
-// fast instead of surfacing from the middle of a parallel study.
+// validate checks the sweep axes before fan-out, so a bad graph name or MTU
+// fails fast instead of surfacing from the middle of a parallel study.
 func (cfg InferenceConfig) validate() error {
+	if cfg.PacketBytes < 0 {
+		return fmt.Errorf("harness: inference MTU %d is negative (use 0 for the %d-byte default)",
+			cfg.PacketBytes, opgraph.DefaultMTU)
+	}
+	if cfg.Shards < 0 {
+		return fmt.Errorf("harness: inference shards %d is negative (0 or 1 = serial kernel)", cfg.Shards)
+	}
 	for _, g := range cfg.graphs() {
 		if cfg.Custom != nil && cfg.Custom.Name == g {
 			if err := cfg.Custom.Validate(cfg.Params.Grid); err != nil {

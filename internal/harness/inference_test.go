@@ -106,6 +106,13 @@ func TestInferenceStudyValidation(t *testing.T) {
 	if _, err := InferenceStudy(cfg); err == nil {
 		t.Error("negative seq accepted")
 	}
+	cfg = QuickInferenceConfig()
+	cfg.PacketBytes = -1
+	if _, err := InferenceStudy(cfg); err == nil {
+		t.Error("negative MTU accepted")
+	} else if !strings.Contains(err.Error(), "MTU") {
+		t.Errorf("negative-MTU error %q does not mention the MTU", err)
+	}
 }
 
 // TestInferenceCustomGraph: a user-supplied DAG rides the same study

@@ -24,7 +24,9 @@ import (
 // byte-identical at every worker count.
 type Runner struct {
 	// Workers bounds the number of concurrently running simulations.
-	// Zero means runtime.GOMAXPROCS(0); one runs everything inline.
+	// Any non-positive value means runtime.GOMAXPROCS(0) — see
+	// EffectiveWorkers, the single point of normalization; one runs
+	// everything inline.
 	Workers int
 	// Cache, when non-nil, serves every study point content-addressed from
 	// the persistent result cache (internal/expcache) and records misses
@@ -39,7 +41,15 @@ type Runner struct {
 // need strict inline execution.
 var Serial = Runner{Workers: 1}
 
-func (r Runner) workers() int {
+// EffectiveWorkers is the worker count the pool actually uses, and the one
+// place the -j convention is defined: any non-positive Workers (the flag
+// default 0, but also negative values from scripts that compute "cores − k"
+// on small hosts) means runtime.GOMAXPROCS(0). Every study entry point —
+// figure-6, the benchmark study, scaling, resilience, inference — funnels
+// through runIndexed and therefore through this normalization, so `-j 0`
+// and `-j -3` behave identically everywhere (pinned by
+// TestEffectiveWorkersConsistentAcrossStudies).
+func (r Runner) EffectiveWorkers() int {
 	if r.Workers > 0 {
 		return r.Workers
 	}
@@ -51,7 +61,7 @@ func (r Runner) workers() int {
 // an expensive point never strands idle cores behind a fixed pre-split.
 func runIndexed[T any](r Runner, n int, fn func(int) T) []T {
 	out := make([]T, n)
-	w := r.workers()
+	w := r.EffectiveWorkers()
 	if w > n {
 		w = n
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 
@@ -23,6 +24,71 @@ func TestRunIndexedSlotsByIndex(t *testing.T) {
 		if empty := runIndexed(r, 0, func(i int) int { return i }); len(empty) != 0 {
 			t.Fatalf("workers=%d: n=0 returned %v", workers, empty)
 		}
+	}
+}
+
+func TestEffectiveWorkersNormalization(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	for _, w := range []int{0, -1, -8} {
+		if got := (Runner{Workers: w}).EffectiveWorkers(); got != max {
+			t.Errorf("Workers=%d: EffectiveWorkers() = %d, want GOMAXPROCS %d", w, got, max)
+		}
+	}
+	for _, w := range []int{1, 2, 7, 100} {
+		if got := (Runner{Workers: w}).EffectiveWorkers(); got != w {
+			t.Errorf("Workers=%d: EffectiveWorkers() = %d, want %d", w, got, w)
+		}
+	}
+}
+
+// TestEffectiveWorkersConsistentAcrossStudies pins that -j 0 and a negative
+// -j mean the same thing in every study: all five entry points funnel
+// through runIndexed/EffectiveWorkers, so a negative worker count must
+// reproduce the -j 0 output byte for byte (the historical bug was each
+// frontend interpreting non-positive values its own way).
+func TestEffectiveWorkersConsistentAcrossStudies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("five-study sweep in -short mode")
+	}
+	zero, neg := Runner{Workers: 0}, Runner{Workers: -3}
+	cfg := fastCfg()
+
+	// Figure 6.
+	a, b := Figure6With(zero, cfg), Figure6With(neg, cfg)
+	for i := range a {
+		if RenderFigure6(a[i]) != RenderFigure6(b[i]) {
+			t.Errorf("figure-6 panel %q differs between -j 0 and -j -3", a[i].Pattern)
+		}
+	}
+
+	// Benchmark study.
+	p := core.DefaultParams()
+	benches := workload.Synthetics(p.Grid, 0.02)[:2]
+	if RenderFigure7(RunStudyWith(zero, benches, networks.Six(), p, 1)) !=
+		RenderFigure7(RunStudyWith(neg, benches, networks.Six(), p, 1)) {
+		t.Error("benchmark study differs between -j 0 and -j -3")
+	}
+
+	// Scaling study.
+	sa, sb := ScalingStudyWith(zero, []int{4, 8}), ScalingStudyWith(neg, []int{4, 8})
+	for i := range sa {
+		if sa[i].N != sb[i].N || sa[i].PeakTBs != sb[i].PeakTBs {
+			t.Errorf("scaling row %d differs between -j 0 and -j -3", i)
+		}
+	}
+
+	// Resilience study.
+	rcfg := quickResilienceCfg()
+	ra, rb := ResilienceStudyWith(zero, rcfg), ResilienceStudyWith(neg, rcfg)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Errorf("resilience point %d differs between -j 0 and -j -3", i)
+		}
+	}
+
+	// Inference study.
+	if inferenceCSV(t, zero, QuickInferenceConfig()) != inferenceCSV(t, neg, QuickInferenceConfig()) {
+		t.Error("inference CSV differs between -j 0 and -j -3")
 	}
 }
 

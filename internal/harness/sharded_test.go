@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"macrochip/internal/geometry"
+	"macrochip/internal/metrics"
+	"macrochip/internal/networks"
+	"macrochip/internal/traffic"
+)
+
+// These tests are the acceptance surface of the sharded kernel: every
+// result — including the kernel event count — must be byte-identical to
+// the serial reference at every shard count, on every network (shardable
+// designs via the parallel kernel, everything else via the documented
+// serial fallback).
+
+func TestShardHomesRowBlocks(t *testing.T) {
+	g := geometry.Grid{N: 8}
+	home, shards := ShardHomes(g, 4)
+	if shards != 4 {
+		t.Fatalf("effective shards = %d, want 4", shards)
+	}
+	if len(home) != g.Sites() {
+		t.Fatalf("home covers %d sites, want %d", len(home), g.Sites())
+	}
+	for s, h := range home {
+		// Contiguous two-row blocks on an 8×8 grid at 4 shards.
+		if want := (s / g.N) / 2; h != want {
+			t.Fatalf("site %d (row %d) on shard %d, want %d", s, s/g.N, h, want)
+		}
+	}
+	// Shard indices must be monotone over rows (contiguous blocks) and
+	// cover [0, shards).
+	if home[0] != 0 || home[g.Sites()-1] != shards-1 {
+		t.Fatalf("partition does not span [0, %d): first %d, last %d", shards, home[0], home[g.Sites()-1])
+	}
+
+	// Clamp: more shards than rows collapses to one per row.
+	if _, eff := ShardHomes(g, 100); eff != g.N {
+		t.Fatalf("shards clamped to %d, want %d (row count)", eff, g.N)
+	}
+	// Degenerate counts fall back to serial.
+	for _, n := range []int{-1, 0, 1} {
+		if home, eff := ShardHomes(g, n); home != nil || eff != 1 {
+			t.Fatalf("ShardHomes(%d) = (%v, %d), want (nil, 1)", n, home, eff)
+		}
+	}
+}
+
+// TestShardCountInvariance is the tentpole acceptance test: the full
+// LoadPoint struct — latencies, throughput, histogram-derived P95, max,
+// delivery counts, and the kernel event count — is identical on the serial
+// kernel and at 2, 4, and 8 shards, across unloaded, loaded, and saturated
+// operating points.
+func TestShardCountInvariance(t *testing.T) {
+	for _, load := range []float64{0.05, 0.5, 0.95} {
+		cfg := quickCfg()
+		cfg.Network = networks.PointToPoint
+		cfg.Pattern = traffic.Uniform{Grid: cfg.Params.Grid}
+		cfg.Load = load
+		serial := RunLoadPoint(cfg)
+		for _, shards := range []int{2, 4, 8} {
+			c := cfg
+			c.Shards = shards
+			if got := RunLoadPoint(c); got != serial {
+				t.Errorf("load %g: %d-shard result diverged from serial:\nserial:  %+v\nsharded: %+v",
+					load, shards, serial, got)
+			}
+		}
+	}
+}
+
+// TestShardedFigure6GoldenIdentity is the make-check byte-identity gate:
+// the committed figure-6 golden CSV, regenerated at -shards 1 and
+// -shards 4, must match the serial kernel's bytes exactly.
+func TestShardedFigure6GoldenIdentity(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		cfg := quickCfg()
+		cfg.Shards = shards
+		panel := Figure6Panel{Pattern: "uniform"}
+		s := SweepSeries{Network: networks.PointToPoint}
+		for _, load := range []float64{0.01, 0.02} {
+			c := cfg
+			c.Network = networks.PointToPoint
+			c.Pattern = traffic.Uniform{Grid: cfg.Params.Grid}
+			c.Load = load
+			s.Points = append(s.Points, RunLoadPoint(c))
+		}
+		panel.Series = append(panel.Series, s)
+		var b strings.Builder
+		if err := WriteFigure6CSV(&b, panel); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "figure6.csv.golden", []byte(b.String()))
+	}
+}
+
+// TestShardedInferenceGoldenIdentity: the inference sweep with -shards 4
+// reproduces the committed golden byte for byte (the replay's dependency
+// scheduler is global, so the config documents — and this pins — the
+// serial fallback).
+func TestShardedInferenceGoldenIdentity(t *testing.T) {
+	cfg := QuickInferenceConfig()
+	cfg.Shards = 4
+	csv := inferenceCSV(t, Serial, cfg)
+	checkGolden(t, "inference.csv.golden", []byte(csv))
+}
+
+// TestShardedFallbackNetworksIdentical: designs without a sharded variant
+// take the serial path under -shards N, so their results cannot drift.
+func TestShardedFallbackNetworksIdentical(t *testing.T) {
+	for _, kind := range []networks.Kind{networks.TokenRing, networks.LimitedPtP, networks.TwoPhase} {
+		cfg := quickCfg()
+		cfg.Network = kind
+		cfg.Pattern = traffic.Transpose{Grid: cfg.Params.Grid}
+		cfg.Load = 0.05
+		serial := RunLoadPoint(cfg)
+		cfg.Shards = 4
+		if got := RunLoadPoint(cfg); got != serial {
+			t.Errorf("%s: -shards 4 diverged from serial fallback:\nserial:  %+v\nsharded: %+v", kind, serial, got)
+		}
+	}
+}
+
+// TestShardedObsFallsBackToSerial: instrumented runs assume the
+// single-threaded kernel, so the sharded path must decline them.
+func TestShardedObsFallsBackToSerial(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Network = networks.PointToPoint
+	cfg.Pattern = traffic.Uniform{Grid: cfg.Params.Grid}
+	cfg.Load = 0.05
+	cfg.Shards = 4
+	cfg.Obs.Reg = metrics.NewRegistry()
+	if _, ok := runLoadPointSharded(cfg); ok {
+		t.Fatal("sharded path accepted an instrumented run")
+	}
+	// And the public entry point still works (serial fallback).
+	if pt := RunLoadPoint(cfg); pt.Delivered == 0 {
+		t.Fatalf("instrumented fallback run delivered nothing: %+v", pt)
+	}
+}

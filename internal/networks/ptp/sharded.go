@@ -1,0 +1,95 @@
+// Sharded variant of the point-to-point fabric for the conservative
+// parallel kernel (sim.ShardedEngine).
+//
+// Point-to-point is the one evaluated design whose state partitions cleanly
+// by site: every channel is owned by its source site (only src-side
+// injection events reserve it), there is no arbitration, no forwarding, and
+// no shared medium. Partition the sites by row and the only cross-shard
+// interaction left is a delivery event landing at the destination — which
+// arrives at least one row pitch of optical propagation in the future,
+// exactly the kernel's lookahead. The serial Network in ptp.go stays the
+// determinism reference; this file mirrors its timing math call for call.
+//
+// Why results merge byte-identically (see DESIGN.md §15 for the full
+// argument): each channel is reserved only from its source site's event
+// chain, which is serial within one shard, and the per-site Poisson streams
+// are pure functions of the seed — so every packet's (born, start, end,
+// arrive) tuple is identical to the serial run's, and the per-shard Stats
+// sinks accumulate order-independent reductions of the same multiset of
+// deliveries.
+package ptp
+
+import (
+	"macrochip/internal/core"
+	"macrochip/internal/sim"
+)
+
+// Sharded is the point-to-point fabric bound to a sharded kernel: one
+// Stats sink per shard, deliveries routed to the destination site's shard.
+type Sharded struct {
+	se *sim.ShardedEngine
+	p  core.Params
+	// home maps each site to its shard.
+	home []int
+	// stats[shard] collects injections/traversals at source sites and
+	// deliveries/latencies at destination sites of that shard.
+	stats []*core.Stats
+	// chans[src][dst] is the dedicated channel; nil on the diagonal.
+	// Reserve is only ever called from src's event chain, so under a
+	// site partition each channel is single-writer.
+	chans      [][]*core.Channel
+	paths      *core.PathTable
+	intraDelay sim.Time
+}
+
+// NewSharded constructs the sharded fabric. home[site] assigns each site's
+// event chain to a shard of se; stats must hold one sink per shard.
+func NewSharded(se *sim.ShardedEngine, p core.Params, home []int, stats []*core.Stats) *Sharded {
+	n := p.Grid.Sites()
+	chans := make([][]*core.Channel, n)
+	for s := 0; s < n; s++ {
+		chans[s] = make([]*core.Channel, n)
+		for d := 0; d < n; d++ {
+			if s != d {
+				chans[s][d] = core.NewChannel(p.PtPChannelGBs())
+			}
+		}
+	}
+	return &Sharded{
+		se:         se,
+		p:          p,
+		home:       home,
+		stats:      stats,
+		chans:      chans,
+		paths:      core.NewPathTable(p),
+		intraDelay: p.Cycles(p.IntraSiteCycles),
+	}
+}
+
+// Inject implements core.Injector. It must run on the source site's shard
+// (the sharded open-loop generator pins each site's source there). The
+// timing math is the serial Network.Inject's, line for line; the only
+// difference is where the delivery event is queued.
+func (n *Sharded) Inject(p *core.Packet) {
+	sh := n.home[p.Src]
+	eng := n.se.Shard(sh)
+	now := eng.Now()
+	st := n.stats[sh]
+	st.StampInjection(p, now)
+	if p.Src == p.Dst {
+		eng.ScheduleCall(n.intraDelay, st, sim.EventArg{Ptr: p})
+		return
+	}
+	_, end := n.chans[p.Src][p.Dst].Reserve(now, p.Bytes)
+	arrive := end + n.paths.Delay(p.Src, p.Dst)
+	st.AddOpticalTraversal(p.Bytes)
+	dst := n.home[p.Dst]
+	if dst == sh {
+		eng.CallAt(arrive, st, sim.EventArg{Ptr: p})
+		return
+	}
+	// Cross-shard delivery: arrive − now ≥ the propagation delay between
+	// different rows ≥ the kernel lookahead, so Send's causality check
+	// holds by construction.
+	n.se.Send(sh, dst, arrive, n.stats[dst], sim.EventArg{Ptr: p})
+}

@@ -14,6 +14,7 @@ import (
 //
 //	{
 //	  "name": "my-layer",
+//	  "mtu": 8192,
 //	  "ops": [
 //	    {"kind": "attention", "site": 0, "compute_ps": 200},
 //	    {"kind": "all-reduce", "site": 1, "compute_ps": 100}
@@ -24,11 +25,14 @@ import (
 //	}
 //
 // Kinds use the Kind.String names; sites are row-major indices on the run's
-// grid; compute windows are picoseconds. The loader rejects unknown fields
-// and validates the result against the grid (DAG check included).
+// grid; compute windows are picoseconds. "mtu" is the optional transfer
+// packet size the graph was authored for (omit or 0 for the default;
+// negative is rejected at load time). The loader rejects unknown fields and
+// validates the result against the grid (DAG and MTU checks included).
 
 type jsonGraph struct {
 	Name  string     `json:"name"`
+	MTU   int        `json:"mtu"`
 	Ops   []jsonOp   `json:"ops"`
 	Edges []jsonEdge `json:"edges"`
 }
@@ -56,7 +60,7 @@ func LoadJSON(r io.Reader, grid geometry.Grid) (*Graph, error) {
 	if jg.Name == "" {
 		return nil, fmt.Errorf("opgraph: graph JSON needs a non-empty name")
 	}
-	g := &Graph{Name: jg.Name}
+	g := &Graph{Name: jg.Name, MTU: jg.MTU}
 	for i, jo := range jg.Ops {
 		k, err := ParseKind(jo.Kind)
 		if err != nil {

@@ -129,6 +129,12 @@ type Graph struct {
 	Ops  []Op
 	// Edges must describe a DAG over Ops (checked by Validate).
 	Edges []Edge
+	// MTU, when positive, is the graph's own transfer packet size — a graph
+	// authored for a link with a known MTU carries it instead of relying on
+	// every caller to pass the right Replay.PacketBytes. Zero means "no
+	// opinion" (the replay falls back to DefaultMTU); negative is invalid
+	// and rejected by Validate.
+	MTU int
 }
 
 // Validate checks structural sanity: edge endpoints in range, non-negative
@@ -137,6 +143,9 @@ type Graph struct {
 func (g *Graph) Validate(grid geometry.Grid) error {
 	if len(g.Ops) == 0 {
 		return fmt.Errorf("opgraph: graph %q has no operators", g.Name)
+	}
+	if g.MTU < 0 {
+		return fmt.Errorf("opgraph: graph %q has negative MTU %d (omit or use 0 for the %d-byte default)", g.Name, g.MTU, DefaultMTU)
 	}
 	for i, op := range g.Ops {
 		if op.Kind >= numKinds {

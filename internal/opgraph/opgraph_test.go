@@ -70,6 +70,7 @@ func TestValidateErrors(t *testing.T) {
 		{"edge out of range", func(g *opgraph.Graph) { g.Edges[0].To = 7 }, "outside"},
 		{"self loop", func(g *opgraph.Graph) { g.Edges[0].To = 0 }, "self-loop"},
 		{"negative bytes", func(g *opgraph.Graph) { g.Edges[0].Bytes = -5 }, "negative size"},
+		{"negative mtu", func(g *opgraph.Graph) { g.MTU = -1 }, "negative MTU"},
 		{"cycle", func(g *opgraph.Graph) {
 			g.Edges = append(g.Edges, opgraph.Edge{From: 1, To: 0, Bytes: 1})
 		}, "cycle"},
@@ -174,6 +175,7 @@ func TestLoadJSON(t *testing.T) {
 	grid := testGrid()
 	src := `{
 		"name": "tiny",
+		"mtu": 8192,
 		"ops": [
 			{"kind": "attention", "site": 0, "compute_ps": 200},
 			{"kind": "all-reduce", "site": 1, "compute_ps": 100}
@@ -193,6 +195,9 @@ func TestLoadJSON(t *testing.T) {
 	if g.Ops[0].Compute != 200 {
 		t.Errorf("op 0 compute = %v", g.Ops[0].Compute)
 	}
+	if g.MTU != 8192 {
+		t.Errorf("MTU = %d, want 8192", g.MTU)
+	}
 
 	bad := []struct{ name, src string }{
 		{"unknown field", `{"name":"x","ops":[{"kind":"ffn","site":0,"compute_ps":1,"flops":9}]}`},
@@ -200,6 +205,7 @@ func TestLoadJSON(t *testing.T) {
 		{"missing name", `{"ops":[{"kind":"ffn","site":0,"compute_ps":1}]}`},
 		{"invalid site", `{"name":"x","ops":[{"kind":"ffn","site":99,"compute_ps":1}]}`},
 		{"cycle", `{"name":"x","ops":[{"kind":"ffn","site":0,"compute_ps":1},{"kind":"ffn","site":1,"compute_ps":1}],"edges":[{"from":0,"to":1,"bytes":1},{"from":1,"to":0,"bytes":1}]}`},
+		{"negative mtu", `{"name":"x","mtu":-4096,"ops":[{"kind":"ffn","site":0,"compute_ps":1}]}`},
 		{"not json", `{"name":`},
 	}
 	for _, tc := range bad {

@@ -30,8 +30,11 @@ type Replay struct {
 	// replay under failures (the decorator is transparent at zero faults).
 	Net   core.Network
 	Graph *Graph
-	// PacketBytes is the transfer MTU (DefaultMTU when zero): an edge of B
-	// bytes becomes ceil(B/MTU) packets.
+	// PacketBytes is the transfer MTU: an edge of B bytes becomes
+	// ceil(B/MTU) packets. Zero falls back to the graph's own MTU, then to
+	// DefaultMTU; a negative value is a configuration error Start reports
+	// (it used to be silently replaced by the default, which hid mis-parsed
+	// flags and JSON).
 	PacketBytes int
 	// Seed selects the derived random streams.
 	Seed int64
@@ -129,8 +132,16 @@ func (r *Replay) Start() error {
 	if err := r.Graph.Validate(r.Params.Grid); err != nil {
 		return err
 	}
-	if r.PacketBytes <= 0 {
-		r.PacketBytes = DefaultMTU
+	if r.PacketBytes < 0 {
+		return fmt.Errorf("opgraph: graph %q: negative transfer MTU %d (use 0 for the %d-byte default)",
+			r.Graph.Name, r.PacketBytes, DefaultMTU)
+	}
+	if r.PacketBytes == 0 {
+		if r.Graph.MTU > 0 {
+			r.PacketBytes = r.Graph.MTU
+		} else {
+			r.PacketBytes = DefaultMTU
+		}
 	}
 	if r.JitterFrac > 0 {
 		r.jitterRNG = sim.NewRNG(sim.DeriveSeed(r.Seed, sim.StringLabel("opgraph-jitter")))

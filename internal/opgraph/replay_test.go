@@ -1,6 +1,7 @@
 package opgraph_test
 
 import (
+	"strings"
 	"testing"
 
 	"macrochip/internal/core"
@@ -298,5 +299,45 @@ func TestReplayStartErrors(t *testing.T) {
 	}
 	if err := r2.Start(); err == nil {
 		t.Error("Start accepted a second call")
+	}
+	// A negative MTU is a configuration error (mis-parsed flag or JSON), not
+	// a silent fall-through to the default.
+	r3 := &opgraph.Replay{Eng: eng, Params: p, Net: net, Graph: chainGraph(), Seed: 1, PacketBytes: -64}
+	if err := r3.Start(); err == nil {
+		t.Error("Start accepted a negative MTU")
+	} else if !strings.Contains(err.Error(), "negative transfer MTU") {
+		t.Errorf("negative-MTU error %q does not name the problem", err)
+	}
+}
+
+// TestReplayMTUPrecedence pins the MTU resolution order: an explicit
+// Replay.PacketBytes wins, then the graph's own MTU, then DefaultMTU. The
+// segment counts make each layer observable: a 6000-byte edge is 2 packets
+// at the 4096-byte default, 3 at a graph MTU of 2000, 6 at an explicit 1000.
+func TestReplayMTUPrecedence(t *testing.T) {
+	run := func(graphMTU, packetBytes int) uint64 {
+		t.Helper()
+		p := testParams()
+		eng := sim.NewEngine()
+		stats := core.NewStats(0)
+		net := networks.MustNew(networks.PointToPoint, eng, p, stats)
+		g := chainGraph()
+		g.MTU = graphMTU
+		r := &opgraph.Replay{Eng: eng, Params: p, Net: net, Graph: g, Seed: 1, PacketBytes: packetBytes}
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		return stats.Injected
+	}
+	// Edges: 6000 B + 100 B. ceil(6000/mtu) + 1 packets.
+	if got := run(0, 0); got != 3 {
+		t.Errorf("default MTU: %d packets, want 3", got)
+	}
+	if got := run(2000, 0); got != 4 {
+		t.Errorf("graph MTU 2000: %d packets, want 4", got)
+	}
+	if got := run(2000, 1000); got != 7 {
+		t.Errorf("explicit MTU 1000 over graph MTU: %d packets, want 7", got)
 	}
 }

@@ -299,6 +299,10 @@ func TestMalformedConfigs(t *testing.T) {
 		{"bad class", `{"kind":"resilience","classes":["meteor-strike"]}`, "classes"},
 		{"negative rate", `{"kind":"resilience","rates":[-1]}`, "rates"},
 		{"bad scale", `{"kind":"study","scale":99}`, "scale"},
+		{"negative mtu", `{"kind":"inference","mtu":-4096}`, "mtu"},
+		{"oversized mtu", `{"kind":"inference","mtu":2097152}`, "mtu"},
+		{"negative shards", `{"kind":"figure6","pattern":"uniform","shards":-2}`, "shards"},
+		{"oversized shards", `{"kind":"figure6","pattern":"uniform","shards":65}`, "shards"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

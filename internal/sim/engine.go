@@ -96,7 +96,19 @@ func (e *Engine) Schedule(delay Duration, fn func()) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
-	e.At(e.now+delay, fn)
+	e.At(e.deadlineFor(delay), fn)
+}
+
+// deadlineFor converts a validated non-negative delay into an absolute
+// timestamp, catching int64 overflow explicitly. Before this check a huge
+// delay (e.g. a misconverted duration) wrapped negative and surfaced as the
+// misleading "schedule before now" panic from At/CallAt.
+func (e *Engine) deadlineFor(delay Duration) Time {
+	t := e.now + delay
+	if t < e.now {
+		panic(fmt.Sprintf("sim: delay %d ps overflows the time axis (now %v)", int64(delay), e.now))
+	}
+	return t
 }
 
 // At runs fn at absolute time t, which must not precede the current time.
@@ -114,7 +126,7 @@ func (e *Engine) ScheduleCall(delay Duration, h Handler, arg EventArg) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
-	e.CallAt(e.now+delay, h, arg)
+	e.CallAt(e.deadlineFor(delay), h, arg)
 }
 
 // CallAt runs h.OnEvent(e, arg) at absolute time t, which must not precede
@@ -185,6 +197,23 @@ func (e *Engine) SetDispatchHook(fn func(at Time)) { e.hook = fn }
 // Stop makes Run and RunUntil return after the current event completes.
 // Pending events are retained, so a stopped engine can be resumed.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether the most recent Run/RunUntil returned because of
+// Stop rather than by exhausting its work. Run and RunUntil clear the flag
+// on entry, so the report always refers to the latest run. The sharded
+// engine uses it to detect a shard that stopped mid-window.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// NextEventAt peeks the earliest pending event's timestamp without
+// dispatching it. The second result is false when the queue is empty. The
+// sharded engine's coordinator uses it to pick each conservative window's
+// start time.
+func (e *Engine) NextEventAt() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
 
 // Run executes events until the queue is empty or Stop is called. It returns
 // the time of the last executed event (or the current time if none ran).

@@ -1,0 +1,36 @@
+package sim
+
+// Scheduler is the run-control seam between the experiment harness and a
+// simulation kernel: everything a caller needs to drive a constructed
+// simulation to completion and account for its effort, without naming the
+// concrete kernel. Both the serial *Engine (the determinism reference) and
+// the *ShardedEngine implement it, so harness code like RunLoadPoint can
+// swap kernels without touching the models — models keep scheduling through
+// the concrete *Engine they were built on (the Handler contract passes it to
+// every callback), which is what keeps the hot path free of interface
+// dispatch.
+type Scheduler interface {
+	// Now returns the current simulated time.
+	Now() Time
+	// Run executes events until no work remains (or Stop), returning the
+	// time of the last executed event.
+	Run() Time
+	// RunUntil executes events with timestamps <= deadline, advances the
+	// clock to the deadline, and returns it (or the stop time).
+	RunUntil(deadline Time) Time
+	// Stop makes the current Run/RunUntil return after the event in
+	// progress; pending work is retained so the kernel can be resumed.
+	Stop()
+	// Pending reports events waiting to run (for the sharded kernel this
+	// includes cross-shard events still in transit).
+	Pending() int
+	// Executed reports events dispatched since construction.
+	Executed() uint64
+}
+
+// Compile-time interface checks: the serial and sharded kernels present the
+// same run-control surface.
+var (
+	_ Scheduler = (*Engine)(nil)
+	_ Scheduler = (*ShardedEngine)(nil)
+)

@@ -1,0 +1,390 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedEngine is a conservative (Chandy-Misra style) parallel event
+// kernel: K independent serial Engines, one per shard, advanced together in
+// bounded time windows. The physical justification comes from the paper's
+// geometry — any event one site schedules on a site in another shard rides
+// an optical signal across centimeters of waveguide, so it lands at least
+// the minimum cross-shard propagation delay in the future. That delay is
+// the engine's lookahead: within a window of that width, shards cannot
+// affect each other and may run concurrently.
+//
+// Protocol per window:
+//
+//  1. The coordinator finds the earliest pending timestamp across every
+//     shard queue and every in-transit cross-shard event, and opens the
+//     window [next, next+lookahead).
+//  2. Each shard's worker first drains its inbox — cross-shard events sent
+//     during the previous window — into its local queue in (time, sender
+//     shard, sender FIFO) order, then runs its serial Engine to the window
+//     horizon. Cross-shard sends made while running are appended to
+//     per-(from, to) outboxes.
+//  3. A barrier; the outboxes become next window's inboxes (double
+//     buffering, so a sender's appends never touch a slice a receiver is
+//     draining).
+//
+// Windows slide to the earliest pending event rather than marching in
+// fixed steps, so sparse stretches of simulated time cost one window, not
+// many empty ones.
+//
+// Determinism: each shard is a serial Engine with the (time, seq) total
+// order, per-shard event streams are fixed by construction, and inbox
+// draining uses a fixed total order, so a run is a pure function of the
+// schedule — independent of OS scheduling and worker interleaving. See
+// DESIGN.md §15 for the argument that per-row sharding of the
+// point-to-point network makes merged results byte-identical to the serial
+// reference kernel.
+//
+// Concurrency contract: during a window, a handler running on shard i may
+// schedule freely on its own Engine (the one passed to OnEvent) and must
+// route anything aimed at another shard through Send. Touching another
+// shard's Engine directly is a data race.
+type ShardedEngine struct {
+	shards    []*Engine
+	lookahead Duration
+
+	// cur and prev are the double-buffered cross-shard mailboxes, indexed
+	// [from][to]. Workers append to cur[from][·] while running a window and
+	// drain prev[·][to] at its start; the coordinator swaps the buffers
+	// between windows, under the barrier.
+	cur, prev [][][]mailEvent
+	// scratch[to] is shard to's reusable merge buffer for inbox draining.
+	scratch [][]mailEvent
+	// stoppedFlags[i] records whether shard i's last window ended in Stop;
+	// written by worker i, read by the coordinator after the barrier.
+	stoppedFlags []bool
+	// stopReq is the coordinator-level stop request (Scheduler.Stop),
+	// atomic because any worker's handler may raise it mid-window.
+	stopReq atomic.Bool
+	stopped bool
+}
+
+// mailEvent is one cross-shard event in transit: a (time, handler, arg)
+// triple plus the sender shard, which is the deterministic tie-break for
+// same-timestamp arrivals from different shards.
+type mailEvent struct {
+	at   Time
+	from int32
+	h    Handler
+	arg  EventArg
+}
+
+// NewShardedEngine builds a kernel with `shards` shards and the given
+// conservative lookahead (the minimum cross-shard event delay, > 0).
+func NewShardedEngine(shards int, lookahead Duration) *ShardedEngine {
+	if shards < 1 {
+		panic(fmt.Sprintf("sim: %d shards", shards))
+	}
+	if lookahead < 1 {
+		panic(fmt.Sprintf("sim: non-positive lookahead %d ps", int64(lookahead)))
+	}
+	se := &ShardedEngine{
+		shards:       make([]*Engine, shards),
+		lookahead:    lookahead,
+		cur:          newMail(shards),
+		prev:         newMail(shards),
+		scratch:      make([][]mailEvent, shards),
+		stoppedFlags: make([]bool, shards),
+	}
+	for i := range se.shards {
+		se.shards[i] = NewEngine()
+	}
+	return se
+}
+
+func newMail(shards int) [][][]mailEvent {
+	m := make([][][]mailEvent, shards)
+	for i := range m {
+		m[i] = make([][]mailEvent, shards)
+	}
+	return m
+}
+
+// Shards returns the shard count.
+func (se *ShardedEngine) Shards() int { return len(se.shards) }
+
+// Shard returns shard i's serial Engine — the construction-time handle a
+// model binds each site's event chain to.
+func (se *ShardedEngine) Shard(i int) *Engine { return se.shards[i] }
+
+// Lookahead returns the conservative window width.
+func (se *ShardedEngine) Lookahead() Duration { return se.lookahead }
+
+// Send schedules h.OnEvent at absolute time `at` on shard `to`, from an
+// event currently running on shard `from`. Same-shard sends are ordinary
+// local scheduling. Cross-shard sends must respect the lookahead: at least
+// `Lookahead()` past the sender's clock — the guarantee that makes running
+// shards a window at a time safe. A violation panics loudly rather than
+// silently corrupting causality.
+func (se *ShardedEngine) Send(from, to int, at Time, h Handler, arg EventArg) {
+	if from == to {
+		se.shards[to].CallAt(at, h, arg)
+		return
+	}
+	now := se.shards[from].Now()
+	if at < now+se.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard event at %v violates the %d ps lookahead (shard %d → %d, now %v)",
+			at, int64(se.lookahead), from, to, now))
+	}
+	se.cur[from][to] = append(se.cur[from][to], mailEvent{at: at, from: int32(from), h: h, arg: arg})
+}
+
+// Now returns the conservative global clock: the earliest shard clock, the
+// time before which no work remains anywhere.
+func (se *ShardedEngine) Now() Time {
+	min := se.shards[0].Now()
+	for _, sh := range se.shards[1:] {
+		if t := sh.Now(); t < min {
+			min = t
+		}
+	}
+	return min
+}
+
+// Pending reports queued events across all shards plus cross-shard events
+// still in transit.
+func (se *ShardedEngine) Pending() int {
+	n := 0
+	for _, sh := range se.shards {
+		n += sh.Pending()
+	}
+	for _, mail := range [2][][][]mailEvent{se.cur, se.prev} {
+		for _, row := range mail {
+			for _, box := range row {
+				n += len(box)
+			}
+		}
+	}
+	return n
+}
+
+// Executed reports events dispatched across all shards. The same schedule
+// dispatches the same events at any shard count, so this matches the serial
+// kernel's count (pinned by the harness identity tests).
+func (se *ShardedEngine) Executed() uint64 {
+	var n uint64
+	for _, sh := range se.shards {
+		n += sh.Executed()
+	}
+	return n
+}
+
+// Stop makes the current Run/RunUntil return at the next window barrier.
+// Pending and in-transit events are retained, so the kernel can resume.
+// Handlers stopping just their own shard (Engine.Stop on the engine passed
+// to OnEvent) have the same effect: any stopped shard stops the whole
+// kernel at the barrier.
+func (se *ShardedEngine) Stop() { se.stopReq.Store(true) }
+
+// Stopped reports whether the most recent Run/RunUntil returned because of
+// a stop rather than by exhausting its work.
+func (se *ShardedEngine) Stopped() bool { return se.stopped }
+
+// Run executes events until no work remains on any shard (or a stop). It
+// returns the time of the last executed event, with every shard clock
+// advanced to it.
+func (se *ShardedEngine) Run() Time {
+	se.run(Time(math.MaxInt64), true)
+	if !se.stopped {
+		// Align clocks on the completion time, mirroring the serial
+		// engine's "clock rests at the last executed event".
+		max := Time(0)
+		for _, sh := range se.shards {
+			if t := sh.Now(); t > max {
+				max = t
+			}
+		}
+		for _, sh := range se.shards {
+			if sh.Now() < max {
+				sh.RunUntil(max)
+			}
+		}
+	}
+	return se.Now()
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances every
+// shard clock to the deadline (unless stopped) and returns the conservative
+// global clock.
+func (se *ShardedEngine) RunUntil(deadline Time) Time {
+	se.run(deadline, false)
+	if !se.stopped {
+		for _, sh := range se.shards {
+			if sh.Now() < deadline {
+				sh.RunUntil(deadline)
+			}
+		}
+	}
+	return se.Now()
+}
+
+// run is the coordinator loop shared by Run and RunUntil.
+func (se *ShardedEngine) run(deadline Time, untilEmpty bool) {
+	se.stopped = false
+	se.stopReq.Store(false)
+	if len(se.shards) == 1 {
+		// One shard is the serial kernel with an extra name: no windows,
+		// no barriers, no goroutines.
+		sh := se.shards[0]
+		if untilEmpty {
+			sh.Run()
+		} else {
+			sh.RunUntil(deadline)
+		}
+		se.stopped = sh.Stopped()
+		return
+	}
+	for {
+		// The previous window's outboxes become this window's inboxes.
+		// cur is empty after the swap: receivers reset every inbox they
+		// drained, and the post-loop flush below clears any leftovers
+		// before returning.
+		se.cur, se.prev = se.prev, se.cur
+		next, ok := se.minPending()
+		if !ok || (!untilEmpty && next > deadline) {
+			break
+		}
+		horizon := next + se.lookahead - 1
+		if horizon < next { // int64 overflow on a huge timestamp
+			horizon = Time(math.MaxInt64)
+		}
+		if !untilEmpty && horizon > deadline {
+			horizon = deadline
+		}
+		se.window(horizon)
+		if se.stopReq.Load() {
+			se.stopped = true
+			break
+		}
+		for _, f := range se.stoppedFlags {
+			if f {
+				se.stopped = true
+			}
+		}
+		if se.stopped {
+			break
+		}
+	}
+	se.flushMail()
+}
+
+// minPending returns the earliest pending timestamp across shard queues and
+// the in-transit mailboxes of the window about to start.
+func (se *ShardedEngine) minPending() (Time, bool) {
+	var min Time
+	ok := false
+	for _, sh := range se.shards {
+		if t, has := sh.NextEventAt(); has && (!ok || t < min) {
+			min, ok = t, true
+		}
+	}
+	for _, row := range se.prev {
+		for _, box := range row {
+			for i := range box {
+				if !ok || box[i].at < min {
+					min, ok = box[i].at, true
+				}
+			}
+		}
+	}
+	return min, ok
+}
+
+// window runs every shard to the horizon concurrently: drain inbox, run,
+// record stop state. One goroutine per shard per window — goroutine startup
+// is tens of nanoseconds against microseconds of shard work, and blocking
+// on the WaitGroup (rather than spinning) keeps the kernel honest when
+// GOMAXPROCS is smaller than the shard count.
+func (se *ShardedEngine) window(horizon Time) {
+	var wg sync.WaitGroup
+	wg.Add(len(se.shards))
+	for i := range se.shards {
+		go func(i int) {
+			defer wg.Done()
+			se.drainInbox(i)
+			se.shards[i].RunUntil(horizon)
+			se.stoppedFlags[i] = se.shards[i].Stopped()
+		}(i)
+	}
+	wg.Wait()
+}
+
+// drainInbox moves every in-transit event addressed to shard `to` into its
+// local queue, in (time, sender shard, sender FIFO) order — a fixed total
+// order, so the seq numbers the local queue assigns (and therefore
+// same-timestamp dispatch order) are deterministic.
+func (se *ShardedEngine) drainInbox(to int) {
+	buf := se.scratch[to][:0]
+	for from := range se.prev {
+		inbox := se.prev[from][to]
+		if len(inbox) == 0 {
+			continue
+		}
+		buf = append(buf, inbox...)
+		for i := range inbox {
+			inbox[i] = mailEvent{} // release handler/arg pointers
+		}
+		se.prev[from][to] = inbox[:0]
+	}
+	if len(buf) > 1 {
+		sort.SliceStable(buf, func(a, b int) bool {
+			if buf[a].at != buf[b].at {
+				return buf[a].at < buf[b].at
+			}
+			return buf[a].from < buf[b].from
+		})
+	}
+	sh := se.shards[to]
+	for i := range buf {
+		sh.CallAt(buf[i].at, buf[i].h, buf[i].arg)
+		buf[i] = mailEvent{}
+	}
+	se.scratch[to] = buf[:0]
+}
+
+// flushMail serially drains everything still in transit (both buffers) into
+// the destination queues, in the same total order drainInbox uses. It runs
+// when the coordinator loop exits, so between runs all pending work lives
+// in shard queues: Pending is exact, and a resumed run needs no special
+// cases. Events past a RunUntil deadline simply wait in their shard's queue
+// like they would in the serial kernel.
+func (se *ShardedEngine) flushMail() {
+	for to := range se.shards {
+		buf := se.scratch[to][:0]
+		for _, mail := range [2][][][]mailEvent{se.prev, se.cur} {
+			for from := range mail {
+				inbox := mail[from][to]
+				if len(inbox) == 0 {
+					continue
+				}
+				buf = append(buf, inbox...)
+				for i := range inbox {
+					inbox[i] = mailEvent{}
+				}
+				mail[from][to] = inbox[:0]
+			}
+		}
+		if len(buf) > 1 {
+			sort.SliceStable(buf, func(a, b int) bool {
+				if buf[a].at != buf[b].at {
+					return buf[a].at < buf[b].at
+				}
+				return buf[a].from < buf[b].from
+			})
+		}
+		sh := se.shards[to]
+		for i := range buf {
+			sh.CallAt(buf[i].at, buf[i].h, buf[i].arg)
+			buf[i] = mailEvent{}
+		}
+		se.scratch[to] = buf[:0]
+	}
+}

@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// chainScript is a precomputed deterministic walk for the property test:
+// step k runs at at[k] on shard[k]. Scripts are generated so that every
+// timestamp is globally unique and every shard change waits at least the
+// kernel lookahead, so the expected per-shard dispatch order is simply the
+// shard's timestamps sorted ascending — the same sort-based reference
+// queue_test.go uses for the serial engine.
+type chainStep struct {
+	at    Time
+	shard int
+}
+
+// chainRunner replays one script: each event records itself on its shard's
+// log and schedules the next step, locally or through Send.
+type chainRunner struct {
+	se     *ShardedEngine
+	script []chainStep
+	logs   [][]Time // logs[shard], appended only from that shard's worker
+}
+
+func (c *chainRunner) OnEvent(e *Engine, arg EventArg) {
+	k := int(arg.A)
+	step := c.script[k]
+	if e.Now() != step.at {
+		panic(fmt.Sprintf("step %d dispatched at %v, scripted %v", k, e.Now(), step.at))
+	}
+	c.logs[step.shard] = append(c.logs[step.shard], step.at)
+	if k+1 >= len(c.script) {
+		return
+	}
+	next := c.script[k+1]
+	if next.shard == step.shard {
+		e.CallAt(next.at, c, EventArg{A: uint64(k + 1)})
+	} else {
+		c.se.Send(step.shard, next.shard, next.at, c, EventArg{A: uint64(k + 1)})
+	}
+}
+
+// TestShardedDispatchOrderProperty drives random cross-shard schedules and
+// checks every shard dispatched its events in exactly the order a sort by
+// (unique) timestamp predicts — the sharded analogue of the serial
+// sort-based reference property test. Run with -race, it also exercises
+// the window/barrier machinery for data races.
+func TestShardedDispatchOrderProperty(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		shards := 2 + rng.Intn(3) // 2..4
+		lookahead := Duration(2 + rng.Intn(30))
+		chains := int(lookahead) + rng.Intn(8) // chains >= lookahead keeps gaps safe
+		steps := 20 + rng.Intn(60)
+
+		se := NewShardedEngine(shards, lookahead)
+		logs := make([][]Time, shards)
+		expected := make([][]Time, shards)
+		runners := make([]*chainRunner, chains)
+		for c := 0; c < chains; c++ {
+			// Times on chain c stay ≡ c+1 (mod chains): globally unique.
+			// Gaps are multiples of `chains` ≥ lookahead, so any shard
+			// change satisfies the Send causality check.
+			at := Time(c + 1)
+			shard := rng.Intn(shards)
+			script := make([]chainStep, steps)
+			for k := 0; k < steps; k++ {
+				script[k] = chainStep{at: at, shard: shard}
+				expected[shard] = append(expected[shard], at)
+				at += Time(chains * (1 + rng.Intn(5)))
+				shard = rng.Intn(shards)
+			}
+			// Every runner shares the same logs slice: appends for one
+			// shard happen only on that shard's worker, so element slots
+			// never race (and -race agrees).
+			runners[c] = &chainRunner{se: se, script: script, logs: logs}
+			se.Shard(script[0].shard).CallAt(script[0].at, runners[c], EventArg{A: 0})
+		}
+
+		se.Run()
+
+		for sh := 0; sh < shards; sh++ {
+			want := append([]Time(nil), expected[sh]...)
+			sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+			got := logs[sh]
+			if len(got) != len(want) {
+				t.Fatalf("trial %d shard %d: %d events dispatched, want %d", trial, sh, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d shard %d: dispatch %d at %v, sorted reference says %v",
+						trial, sh, i, got[i], want[i])
+				}
+			}
+		}
+		if want := uint64(chains * steps); se.Executed() != want {
+			t.Fatalf("trial %d: executed %d events, want %d", trial, se.Executed(), want)
+		}
+	}
+}
+
+// stopAndCount stops its own shard's engine partway through.
+type stopAndCount struct {
+	fired    int
+	stopAt   Time
+	stopSelf bool // Engine.Stop on own shard vs ShardedEngine.Stop
+	se       *ShardedEngine
+}
+
+func (s *stopAndCount) OnEvent(e *Engine, _ EventArg) {
+	s.fired++
+	if e.Now() == s.stopAt {
+		if s.stopSelf {
+			e.Stop()
+		} else {
+			s.se.Stop()
+		}
+	}
+}
+
+// TestShardedStopInsideEvent pins the Stop contract on the sharded kernel,
+// for both stop flavors: a handler stopping its own shard's Engine, and a
+// handler requesting a kernel-wide stop. Either way the kernel halts at the
+// window barrier, retains pending work, and resumes cleanly.
+func TestShardedStopInsideEvent(t *testing.T) {
+	for _, stopSelf := range []bool{true, false} {
+		se := NewShardedEngine(3, 10)
+		h := &stopAndCount{stopAt: 25, stopSelf: stopSelf, se: se}
+		// Spread events over shards and time; the stop fires at t=25 on
+		// shard 1, with later work everywhere.
+		for i, step := range []struct {
+			shard int
+			at    Time
+		}{{0, 5}, {1, 25}, {2, 45}, {0, 65}, {1, 85}} {
+			se.Shard(step.shard).CallAt(step.at, h, EventArg{A: uint64(i)})
+		}
+		se.RunUntil(1000)
+		if !se.Stopped() {
+			t.Fatalf("stopSelf=%v: kernel did not report stopped", stopSelf)
+		}
+		if h.fired >= 5 {
+			t.Fatalf("stopSelf=%v: all events ran despite stop", stopSelf)
+		}
+		if se.Pending() == 0 {
+			t.Fatalf("stopSelf=%v: stop discarded pending events", stopSelf)
+		}
+		// Resume: the remaining events run, none twice.
+		se.RunUntil(1000)
+		if se.Stopped() {
+			t.Fatalf("stopSelf=%v: resumed run still stopped", stopSelf)
+		}
+		if h.fired != 5 || se.Pending() != 0 {
+			t.Fatalf("stopSelf=%v: fired=%d pending=%d after resume, want 5/0",
+				stopSelf, h.fired, se.Pending())
+		}
+		if se.Now() != 1000 {
+			t.Fatalf("stopSelf=%v: clock %v after resume, want 1000", stopSelf, se.Now())
+		}
+	}
+}
+
+// gapHandler hops between two far-apart times to exercise empty-window
+// skipping.
+type gapHandler struct{ times []Time }
+
+func (g *gapHandler) OnEvent(e *Engine, _ EventArg) {
+	g.times = append(g.times, e.Now())
+}
+
+// TestShardedEmptyWindowsSkip pins that sparse schedules complete (windows
+// slide to the next pending event instead of marching through empty
+// lookahead steps — with a 5 ps lookahead and events 10^9 ps apart, a
+// marching kernel would need 2×10^8 windows and this test would never
+// finish) and that RunUntil honors its deadline across the gap.
+func TestShardedEmptyWindowsSkip(t *testing.T) {
+	se := NewShardedEngine(2, 5)
+	h := &gapHandler{}
+	se.Shard(0).CallAt(10, h, EventArg{})
+	se.Shard(1).CallAt(1_000_000_000, h, EventArg{})
+
+	se.RunUntil(500)
+	if len(h.times) != 1 || h.times[0] != 10 {
+		t.Fatalf("dispatched %v by t=500, want [10]", h.times)
+	}
+	if se.Now() != 500 {
+		t.Fatalf("clock %v after RunUntil(500), want 500", se.Now())
+	}
+	se.RunUntil(2_000_000_000)
+	if len(h.times) != 2 || h.times[1] != 1_000_000_000 {
+		t.Fatalf("dispatched %v, want [10 1000000000]", h.times)
+	}
+	if se.Pending() != 0 {
+		t.Fatalf("pending %d after drain", se.Pending())
+	}
+}
+
+// TestShardedRunOnEmpty pins the degenerate cases: running an empty kernel
+// returns immediately, and a one-shard kernel behaves exactly like the
+// serial engine.
+func TestShardedRunOnEmpty(t *testing.T) {
+	se := NewShardedEngine(4, 100)
+	if got := se.Run(); got != 0 {
+		t.Fatalf("empty Run returned %v", got)
+	}
+	one := NewShardedEngine(1, 100)
+	h := &gapHandler{}
+	one.Shard(0).CallAt(7, h, EventArg{})
+	if got := one.RunUntil(50); got != 50 {
+		t.Fatalf("one-shard RunUntil returned %v, want 50", got)
+	}
+	if len(h.times) != 1 || h.times[0] != 7 {
+		t.Fatalf("one-shard dispatched %v", h.times)
+	}
+}
+
+// TestShardedSendLookaheadViolationPanics pins the causality guard: a
+// cross-shard event closer than the lookahead is a model bug and must fail
+// loudly.
+func TestShardedSendLookaheadViolationPanics(t *testing.T) {
+	se := NewShardedEngine(2, 50)
+	h := &gapHandler{}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Send inside the lookahead window did not panic")
+		}
+	}()
+	se.Send(0, 1, 49, h, EventArg{})
+}
+
+// TestScheduleOverflowPanicsExplicitly is the regression test for the
+// Schedule/ScheduleCall overflow bug: a delay that wraps e.now+delay past
+// MaxInt64 used to fall through to At/CallAt and panic with the misleading
+// "schedule at -… before now" message. It must now name the overflow.
+func TestScheduleOverflowPanicsExplicitly(t *testing.T) {
+	for _, closure := range []bool{true, false} {
+		e := NewEngine()
+		// Advance the clock so now+MaxInt64 wraps.
+		e.At(10, func() {})
+		e.Run()
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("closure=%v: overflowing delay did not panic", closure)
+				}
+				msg := fmt.Sprint(r)
+				if want := "overflows the time axis"; !contains(msg, want) {
+					t.Fatalf("closure=%v: panic %q does not mention %q", closure, msg, want)
+				}
+			}()
+			if closure {
+				e.Schedule(Duration(math.MaxInt64), func() {})
+			} else {
+				e.ScheduleCall(Duration(math.MaxInt64), &gapHandler{}, EventArg{})
+			}
+		}()
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+package traffic
+
+import (
+	"macrochip/internal/core"
+	"macrochip/internal/geometry"
+	"macrochip/internal/sim"
+)
+
+// ShardedOpenLoop is OpenLoop for the conservative parallel kernel: the
+// same independent per-site Poisson sources, with each site's source event
+// chain pinned to the site's shard and one packet free list per shard (a
+// packet is recycled on the shard that delivered it — its destination's —
+// and reused by sources on that same shard, so the lists are shard-local).
+//
+// The random streams are identical to the serial generator's: the same
+// root seed, the same per-site Derive(site) stream, the same draw order
+// (destination, then next gap). That stream-for-stream equality is half of
+// the sharded kernel's byte-identity argument — the other half is the
+// network model (see ptp.Sharded).
+//
+// Retry is deliberately absent: recovery bookkeeping spans shards (a
+// timeout on the source shard watches a delivery on the destination
+// shard), and no sharded study needs it — the resilience sweep runs on the
+// serial kernel. Patterns must be stateless (all of this package's are):
+// Dest is called concurrently from different shards.
+type ShardedOpenLoop struct {
+	SE      *sim.ShardedEngine
+	Params  core.Params
+	Net     core.Injector
+	Pattern Pattern
+	// Load, PacketBytes, Until, Seed: as in OpenLoop.
+	Load        float64
+	PacketBytes int
+	Until       sim.Time
+	Seed        int64
+	// Home maps each site to its shard, matching the network's partition.
+	Home []int
+
+	// rec[shard] recycles packets delivered on that shard.
+	rec []shardRecycler
+}
+
+// shardRecycler is one shard's packet free list and its pointer-shaped
+// core.DeliverHandler. Each shard's list is touched only by events running
+// on that shard, so no locking is needed.
+type shardRecycler struct {
+	free []*core.Packet
+}
+
+func (r *shardRecycler) OnDeliver(p *core.Packet, _ sim.Time) {
+	p.Deliver = nil
+	r.free = append(r.free, p)
+}
+
+func (r *shardRecycler) get() *core.Packet {
+	if n := len(r.free); n > 0 {
+		p := r.free[n-1]
+		r.free[n-1] = nil
+		r.free = r.free[:n-1]
+		*p = core.Packet{}
+		return p
+	}
+	return &core.Packet{}
+}
+
+// Start schedules the first injection for every site on its home shard.
+// Call before ShardedEngine.Run/RunUntil.
+func (o *ShardedOpenLoop) Start() {
+	if o.Load <= 0 {
+		return
+	}
+	o.rec = make([]shardRecycler, o.SE.Shards())
+	bytesPerPS := o.Load * o.Params.SiteBandwidthGBs * 1e-3 // GB/s → B/ps
+	mean := sim.Time(float64(o.PacketBytes)/bytesPerPS + 0.5)
+	root := sim.NewRNG(o.Seed)
+	for s := 0; s < o.Params.Grid.Sites(); s++ {
+		src := &shardedSource{
+			o:    o,
+			site: geometry.SiteID(s),
+			rng:  root.Derive(int64(s)),
+			mean: mean,
+		}
+		o.SE.Shard(o.Home[s]).ScheduleCall(src.rng.ExpDuration(mean), src, sim.EventArg{})
+	}
+}
+
+// shardedSource is one site's Poisson injector, the sharded twin of
+// OpenLoop's source handler. Its events run on the site's home shard.
+type shardedSource struct {
+	o    *ShardedOpenLoop
+	site geometry.SiteID
+	rng  *sim.RNG
+	mean sim.Time
+}
+
+func (s *shardedSource) OnEvent(e *sim.Engine, _ sim.EventArg) {
+	o := s.o
+	if e.Now() > o.Until {
+		return
+	}
+	dst := o.Pattern.Dest(s.site, s.rng)
+	p := o.rec[o.Home[s.site]].get()
+	p.Src, p.Dst = s.site, dst
+	p.Bytes = o.PacketBytes
+	p.Class = core.ClassData
+	p.Deliver = &o.rec[o.Home[dst]]
+	o.Net.Inject(p)
+	e.ScheduleCall(s.rng.ExpDuration(s.mean), s, sim.EventArg{})
+}
