@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt staticcheck bench-smoke bench-json bench-compare serve-smoke shard-identity check figures report
+.PHONY: build test race vet fmt staticcheck bench-smoke bench-json bench-compare serve-smoke dist-smoke shard-identity check figures report
 
 build:
 	$(GO) build ./...
@@ -39,16 +39,18 @@ bench-smoke:
 
 # bench-json regenerates the committed kernel-performance baseline: the
 # per-network load-point benchmarks, the miniature full sweep (uncached and
-# cold-cache variants), the operator-graph replay benchmarks, and the
+# cold-cache variants), the operator-graph replay benchmarks, the
 # sharded-kernel benchmark (serial vs 2 vs 4 shards on the high-load 8×8
-# point), captured both in raw `go test -bench` form ($(BENCH_BASELINE).txt,
-# for benchstat) and as JSON ($(BENCH_BASELINE).json, for dashboards and
-# PR-to-PR diffs). BENCH_BASELINE names the committed files; bump it per
-# baseline-refreshing PR so history stays diffable.
+# point), and the distributed-sweep benchmark (the same miniature sweep
+# through 1/2/4 in-process pipe workers vs serial — the delta is the
+# per-cell distribution tax), captured both in raw `go test -bench` form
+# ($(BENCH_BASELINE).txt, for benchstat) and as JSON ($(BENCH_BASELINE).json,
+# for dashboards and PR-to-PR diffs). BENCH_BASELINE names the committed
+# files; bump it per baseline-refreshing PR so history stays diffable.
 BENCH_COUNT ?= 5
-BENCH_BASELINE ?= BENCH_pr8
+BENCH_BASELINE ?= BENCH_pr9
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkRunLoadPoint|BenchmarkLoadSweep|BenchmarkOpGraphReplay|BenchmarkInferenceSweep|BenchmarkShardedLoadPoint' \
+	$(GO) test -run '^$$' -bench 'BenchmarkRunLoadPoint|BenchmarkLoadSweep|BenchmarkOpGraphReplay|BenchmarkInferenceSweep|BenchmarkShardedLoadPoint|BenchmarkDistributedSweep' \
 		-benchmem -count $(BENCH_COUNT) ./internal/harness | tee $(BENCH_BASELINE).txt
 	$(GO) run ./cmd/benchjson < $(BENCH_BASELINE).txt > $(BENCH_BASELINE).json
 
@@ -81,10 +83,16 @@ shard-identity:
 serve-smoke:
 	@sh scripts/serve_smoke.sh
 
+# dist-smoke runs a tiny figure-6 panel serially and through a coordinator
+# with two locally spawned macrosim workers, and requires byte-identical
+# CSV plus proof (the dist summary) that cells actually crossed the wire.
+dist-smoke:
+	@sh scripts/dist_smoke.sh
+
 # check is the pre-merge gate: vet + formatting + lint + tests + race
 # detector + sharded-kernel byte-identity + benchmark smoke + daemon smoke +
-# report-only perf comparison.
-check: vet fmt staticcheck test race shard-identity bench-smoke serve-smoke bench-compare
+# distributed smoke + report-only perf comparison.
+check: vet fmt staticcheck test race shard-identity bench-smoke serve-smoke dist-smoke bench-compare
 
 figures:
 	$(GO) run ./cmd/figures -all

@@ -32,10 +32,13 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"macrochip/internal/core"
+	"macrochip/internal/distflags"
 	"macrochip/internal/expcache"
 	"macrochip/internal/harness"
+	"macrochip/internal/networks"
 	"macrochip/internal/sim"
 	"macrochip/internal/workload"
 )
@@ -50,21 +53,40 @@ func main() {
 	jobs := flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
 	shardsFlag := flag.Int("shards", 0, "event-kernel shards per figure-6 load point (0/1 = serial reference; output is identical at every count)")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
+	patterns := flag.String("patterns", "", "comma-separated figure-6 patterns to run (default: all four)")
+	nets := flag.String("networks", "", "comma-separated figure-6 networks to run (default: the paper's five)")
 	cacheDir := flag.String("cache-dir", expcache.DefaultDir(), `experiment result cache directory ("" disables)`)
 	noCache := flag.Bool("no-cache", false, "disable the experiment result cache")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	df := distflags.Register(flag.CommandLine)
 	flag.Parse()
 	outDir = *csvDir
 	cache, err := expcache.OpenOrDisable(*cacheDir, *noCache)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures: cache disabled:", err)
 	}
-	runner = harness.Runner{Workers: *jobs, Cache: cache}
+	df.AttachRemote(cache)
+	dist, err := df.Coordinator(*seed, *cacheDir, *noCache)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	if dist != nil {
+		defer func() { fmt.Fprintln(os.Stderr, "figures:", dist.Summary()) }()
+		defer dist.Close()
+	}
+	runner = harness.Runner{Workers: *jobs, Cache: cache, Dist: dist}
 	shards = *shardsFlag
 	if shards < 0 {
 		fmt.Fprintln(os.Stderr, "figures: -shards must be non-negative")
 		os.Exit(2)
+	}
+	if *patterns != "" {
+		fig6Patterns = splitList(*patterns)
+	}
+	for _, s := range splitList(*nets) {
+		fig6Networks = append(fig6Networks, networks.Kind(s))
 	}
 	defer func() { fmt.Fprintln(os.Stderr, "figures:", cache.Summary()) }()
 
@@ -145,6 +167,26 @@ var runner harness.Runner
 // shards carries the -shards kernel setting into the figure-6 load points.
 var shards int
 
+// fig6Patterns / fig6Networks restrict the figure-6 grid (-patterns /
+// -networks); nil means the full paper grid. Restrictions exist for the
+// distributed smoke test and quick byte-identity comparisons, where one
+// (pattern, network) panel is plenty.
+var (
+	fig6Patterns []string
+	fig6Networks []networks.Kind
+)
+
+// splitList parses a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
 func runFig6(p core.Params, quick bool, seed int64) {
 	cfg := harness.DefaultLoadPointConfig()
 	cfg.Params = p
@@ -154,11 +196,29 @@ func runFig6(p core.Params, quick bool, seed int64) {
 		cfg.Warmup = 500 * sim.Nanosecond
 		cfg.Measure = 1500 * sim.Nanosecond
 	}
-	for _, panel := range harness.Figure6With(runner, cfg) {
+	emit := func(panel harness.Figure6Panel) {
 		fmt.Println(harness.RenderFigure6(panel))
 		writeCSV("fig6_"+panel.Pattern+".csv", func(w io.Writer) error {
 			return harness.WriteFigure6CSV(w, panel)
 		})
+	}
+	if fig6Patterns == nil && fig6Networks == nil {
+		for _, panel := range harness.Figure6With(runner, cfg) {
+			emit(panel)
+		}
+		return
+	}
+	pats := fig6Patterns
+	if pats == nil {
+		pats = []string{"uniform", "transpose", "neighbor", "butterfly"}
+	}
+	for _, pat := range pats {
+		panel, err := harness.Figure6PanelWith(runner, cfg, pat, fig6Networks, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		emit(panel)
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 
+	"macrochip/internal/distflags"
 	"macrochip/internal/expcache"
 	"macrochip/internal/harness"
 	"macrochip/internal/networks"
@@ -55,11 +56,21 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable the experiment result cache")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	df := distflags.Register(flag.CommandLine)
 	flag.Parse()
 
 	cache, cerr := expcache.OpenOrDisable(*cacheDir, *noCache)
 	if cerr != nil {
 		log.Print("cache disabled: ", cerr)
+	}
+	df.AttachRemote(cache)
+	dist, derr := df.Coordinator(*seed, *cacheDir, *noCache)
+	if derr != nil {
+		log.Fatal(derr)
+	}
+	if dist != nil {
+		defer func() { log.Print(dist.Summary()) }()
+		defer dist.Close()
 	}
 	defer func() { log.Print(cache.Summary()) }()
 
@@ -116,7 +127,7 @@ func main() {
 		cfg.SeqLens = parseInts(*seqs, "seq")
 	}
 
-	points, err := harness.InferenceStudyWith(harness.Runner{Workers: *jobs, Cache: cache}, cfg)
+	points, err := harness.InferenceStudyWith(harness.Runner{Workers: *jobs, Cache: cache, Dist: dist}, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

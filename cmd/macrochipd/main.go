@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"macrochip/internal/distflags"
 	"macrochip/internal/expcache"
 	"macrochip/internal/harness"
 	"macrochip/internal/server"
@@ -49,6 +50,8 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "maximum wait for in-flight simulations on shutdown")
 	cacheDir := flag.String("cache-dir", expcache.DefaultDir(), `experiment result cache directory ("" disables)`)
 	noCache := flag.Bool("no-cache", false, "disable the experiment result cache")
+	seed := flag.Int64("dist-seed", 1, "retry-backoff jitter seed for the distributed coordinator")
+	df := distflags.Register(flag.CommandLine)
 	flag.Parse()
 
 	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -56,9 +59,20 @@ func main() {
 	if err != nil {
 		log.Warn("cache disabled", "error", err)
 	}
+	df.AttachRemote(cache)
+	dist, err := df.Coordinator(*seed, *cacheDir, *noCache)
+	if err != nil {
+		log.Error("coordinator failed", "error", err)
+		os.Exit(1)
+	}
+	if dist != nil {
+		defer func() { log.Info("dist summary", "summary", dist.Summary()) }()
+		defer dist.Close()
+	}
 
 	srv := server.New(server.Config{
-		Runner:         harness.Runner{Workers: *jobs, Cache: cache},
+		Runner:         harness.Runner{Workers: *jobs, Cache: cache, Dist: dist},
+		Dist:           dist,
 		QueueDepth:     *queueDepth,
 		Workers:        *workers,
 		RatePerSec:     *rate,

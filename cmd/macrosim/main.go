@@ -14,6 +14,16 @@
 // Patterns: uniform, transpose, neighbor, butterfly.
 // Workloads: radix, barnes, blackscholes, densities, forces, swaptions,
 // all-to-all, transpose, transpose-MS, neighbor, butterfly.
+//
+// Worker mode (distributed sweeps):
+//
+//	macrosim -worker                      # serve cells over stdin/stdout
+//	macrosim -connect host:9099           # serve cells over TCP
+//
+// In worker mode macrosim executes experiment cells for a coordinator
+// (cmd/figures -dist-workers/-dist-addr et al.) and prints nothing on
+// stdout except protocol; logs go to stderr. SIGTERM drains gracefully:
+// the in-flight cell finishes and is answered before the worker exits.
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"strings"
 
 	"macrochip"
+	"macrochip/internal/expcache"
 	"macrochip/internal/harness"
 	"macrochip/internal/metrics"
 	"macrochip/internal/networks"
@@ -44,7 +55,19 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome-trace JSON of the run (raw-packet mode; open in Perfetto)")
 	metricsPath := flag.String("metrics-csv", "", "write sampled metric time series as CSV (raw-packet mode)")
 	dumpConfig := flag.Bool("dumpconfig", false, "print the full parameter block as JSON and exit")
+	worker := flag.Bool("worker", false, "serve distributed-sweep cells over stdin/stdout (spawned by a coordinator)")
+	connect := flag.String("connect", "", "serve distributed-sweep cells over TCP to the coordinator at host:port")
+	cacheDir := flag.String("cache-dir", expcache.DefaultDir(), "result cache directory (worker mode)")
+	noCache := flag.Bool("no-cache", false, "disable the result cache (worker mode)")
+	cacheURL := flag.String("cache-url", "", "rendezvous daemon base URL for the shared cache tier, e.g. http://host:8080 (worker mode)")
 	flag.Parse()
+
+	// Worker mode must come before anything prints: in -worker mode stdout
+	// carries the wire protocol, and a stray banner would be a framing
+	// violation the coordinator tears the session down for.
+	if *worker || *connect != "" {
+		os.Exit(runWorker(*connect, *cacheDir, *noCache, *cacheURL))
+	}
 
 	sys := macrochip.NewSystem(macrochip.WithSeed(*seed))
 	if *dumpConfig {

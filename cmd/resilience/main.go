@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 
+	"macrochip/internal/distflags"
 	"macrochip/internal/expcache"
 	"macrochip/internal/fault"
 	"macrochip/internal/harness"
@@ -51,11 +52,21 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable the experiment result cache")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	df := distflags.Register(flag.CommandLine)
 	flag.Parse()
 
 	cache, cerr := expcache.OpenOrDisable(*cacheDir, *noCache)
 	if cerr != nil {
 		log.Print("cache disabled: ", cerr)
+	}
+	df.AttachRemote(cache)
+	dist, derr := df.Coordinator(*seed, *cacheDir, *noCache)
+	if derr != nil {
+		log.Fatal(derr)
+	}
+	if dist != nil {
+		defer func() { log.Print(dist.Summary()) }()
+		defer dist.Close()
 	}
 	defer func() { log.Print(cache.Summary()) }()
 
@@ -122,7 +133,7 @@ func main() {
 		}
 	}
 
-	points := harness.ResilienceStudyWith(harness.Runner{Workers: *jobs, Cache: cache}, cfg)
+	points := harness.ResilienceStudyWith(harness.Runner{Workers: *jobs, Cache: cache, Dist: dist}, cfg)
 	fmt.Print(harness.RenderResilience(points))
 
 	if *csvPath != "" {

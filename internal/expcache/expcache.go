@@ -30,6 +30,7 @@ package expcache
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -43,13 +44,16 @@ import (
 // Cache is one result-cache directory handle. Create with Open; the zero
 // value is not usable, but a nil *Cache is (it disables caching).
 type Cache struct {
-	dir string
+	dir    string
+	remote Remote
 
 	mu       sync.Mutex
 	inflight map[Key]*flight
 
 	hits         atomic.Uint64
 	misses       atomic.Uint64
+	remoteHits   atomic.Uint64
+	remoteErrors atomic.Uint64
 	bytesRead    atomic.Uint64
 	bytesWritten atomic.Uint64
 	writeErrors  atomic.Uint64
@@ -104,6 +108,12 @@ func (c *Cache) Summary() string {
 	s := c.Stats()
 	line := fmt.Sprintf("result cache %s: %d hits, %d misses, %.1f MB read, %.1f MB written",
 		c.dir, s.Hits, s.Misses, float64(s.BytesRead)/1e6, float64(s.BytesWritten)/1e6)
+	if s.RemoteHits > 0 || s.RemoteErrors > 0 {
+		line += fmt.Sprintf(", %d remote hits", s.RemoteHits)
+	}
+	if s.RemoteErrors > 0 {
+		line += fmt.Sprintf(", %d remote errors", s.RemoteErrors)
+	}
 	if s.WriteErrors > 0 {
 		line += fmt.Sprintf(", %d write errors", s.WriteErrors)
 	}
@@ -121,6 +131,14 @@ func (c *Cache) Dir() string {
 // Stats is a point-in-time snapshot of cache traffic.
 type Stats struct {
 	Hits, Misses uint64
+	// RemoteHits counts the subset of Hits that were served by the remote
+	// tier (a local miss answered by the rendezvous store, then written
+	// through locally). Hits − RemoteHits is the local hit count, and
+	// Hits + Misses still equals total lookups.
+	RemoteHits uint64
+	// RemoteErrors counts remote operations (Get or Put) that failed; each
+	// degraded to the local-only path without losing the result.
+	RemoteErrors uint64
 	// BytesRead / BytesWritten count successfully decoded entry bytes and
 	// successfully published entry bytes.
 	BytesRead, BytesWritten uint64
@@ -137,6 +155,8 @@ func (c *Cache) Stats() Stats {
 	return Stats{
 		Hits:         c.hits.Load(),
 		Misses:       c.misses.Load(),
+		RemoteHits:   c.remoteHits.Load(),
+		RemoteErrors: c.remoteErrors.Load(),
 		BytesRead:    c.bytesRead.Load(),
 		BytesWritten: c.bytesWritten.Load(),
 		WriteErrors:  c.writeErrors.Load(),
@@ -211,6 +231,15 @@ func Do[T any](c *Cache, key Key, compute func() T) T {
 		f.val = v
 		return v
 	}
+	if c.loadRemote(key, &v) {
+		// A remote hit is still a hit — the caller was served a result it
+		// did not compute — so RemoteHits stays a subset of Hits and
+		// Hits + Misses keeps counting total lookups.
+		c.hits.Add(1)
+		c.remoteHits.Add(1)
+		f.val = v
+		return v
+	}
 	c.misses.Add(1)
 	v = compute()
 	c.store(key, v)
@@ -240,20 +269,58 @@ func (c *Cache) load(key Key, out any) bool {
 	return true
 }
 
-// store publishes one entry atomically: encode, write to a temp file in the
-// cache directory (same filesystem, so rename is atomic), fsync-free rename
-// into place. Failures are counted and swallowed — a result that cannot be
-// cached is still a result.
+// loadRemote asks the remote tier for one entry on a local miss. The fetched
+// bytes must decode into out — an undecodable remote entry is treated as a
+// remote error, not served — and a good entry is written through to the
+// local directory byte-for-byte, so the local file is identical to the one
+// the remote's original writer published.
+func (c *Cache) loadRemote(key Key, out any) bool {
+	if c.remote == nil {
+		return false
+	}
+	data, ok, err := c.remote.Get(key)
+	if err != nil {
+		c.remoteErrors.Add(1)
+		return false
+	}
+	if !ok {
+		return false
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		c.remoteErrors.Add(1)
+		return false
+	}
+	c.bytesRead.Add(uint64(len(data)))
+	c.storeBytes(key, data)
+	return true
+}
+
+// store publishes one entry: encode, atomic local publish, then write-through
+// to the remote tier so other sweep participants can rendezvous on it.
+// Failures are counted and swallowed — a result that cannot be cached is
+// still a result.
 func (c *Cache) store(key Key, v any) {
 	data, err := json.Marshal(v)
 	if err != nil {
 		c.writeErrors.Add(1)
 		return
 	}
+	c.storeBytes(key, data)
+	if c.remote != nil {
+		if err := c.remote.Put(key, data); err != nil {
+			c.remoteErrors.Add(1)
+		}
+	}
+}
+
+// storeBytes publishes pre-encoded entry bytes atomically: write to a temp
+// file in the cache directory (same filesystem, so rename is atomic),
+// fsync-free rename into place.
+func (c *Cache) storeBytes(key Key, data []byte) bool {
 	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
 	if err != nil {
 		c.writeErrors.Add(1)
-		return
+		return false
 	}
 	// CreateTemp opens 0600; loosen to the conventional 0644 before the
 	// rename publishes it, so entries in a shared cache directory stay
@@ -266,12 +333,51 @@ func (c *Cache) store(key Key, v any) {
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
 		c.writeErrors.Add(1)
-		return
+		return false
 	}
 	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
 		os.Remove(tmp.Name())
 		c.writeErrors.Add(1)
-		return
+		return false
 	}
 	c.bytesWritten.Add(uint64(len(data)))
+	return true
+}
+
+// EntryBytes returns the raw bytes of one published entry from the local
+// directory — the daemon's GET path. Corrupt entries are deleted and
+// reported as absent, exactly like load, so a torn or damaged file can
+// never be served to a remote reader.
+func (c *Cache) EntryBytes(key Key) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	p := c.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	if !json.Valid(data) {
+		os.Remove(p)
+		return nil, false
+	}
+	return data, true
+}
+
+// PublishEntry atomically publishes externally supplied entry bytes — the
+// daemon's PUT path. The bytes must be valid JSON (the invariant every
+// local writer maintains); anything else is rejected before touching the
+// directory. Publishing an existing key again simply renames identical
+// content over identical content.
+func (c *Cache) PublishEntry(key Key, data []byte) error {
+	if c == nil {
+		return errors.New("expcache: cache disabled")
+	}
+	if !json.Valid(data) {
+		return fmt.Errorf("expcache: entry %s: not valid JSON", key.Hex())
+	}
+	if !c.storeBytes(key, data) {
+		return fmt.Errorf("expcache: entry %s: publish failed", key.Hex())
+	}
+	return nil
 }

@@ -1,0 +1,87 @@
+package expcache
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// maxRemoteEntry bounds one fetched entry. Real entries are small result
+// structs (hundreds of bytes to a few KB); the cap only exists so a
+// misconfigured base URL pointing at something enormous cannot exhaust
+// memory.
+const maxRemoteEntry = 8 << 20
+
+// HTTPRemote is the Remote backed by a macrochipd daemon's cache routes:
+// GET/PUT /v1/cache/entries/{hex-key}. It is the rendezvous transport of a
+// distributed sweep — workers and coordinator all point -cache-url at the
+// same daemon, and every entry any of them computes becomes visible to the
+// rest.
+type HTTPRemote struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPRemote returns a remote rooted at base (e.g.
+// "http://127.0.0.1:8080"), with or without a trailing slash. The client
+// timeout is deliberately generous next to an entry's size — the point of
+// the remote is avoiding minutes of simulation, so waiting seconds for a
+// slow daemon is still a win.
+func NewHTTPRemote(base string) *HTTPRemote {
+	return &HTTPRemote{
+		base:   strings.TrimRight(base, "/"),
+		client: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+func (h *HTTPRemote) url(key Key) string {
+	return h.base + "/v1/cache/entries/" + key.Hex()
+}
+
+// Get implements Remote: 200 is a hit, 404 a clean miss, anything else an
+// error.
+func (h *HTTPRemote) Get(key Key) ([]byte, bool, error) {
+	resp, err := h.client.Get(h.url(key))
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxRemoteEntry+1))
+		if err != nil {
+			return nil, false, err
+		}
+		if len(data) > maxRemoteEntry {
+			return nil, false, fmt.Errorf("expcache: remote entry %s exceeds %d bytes", key.Hex(), maxRemoteEntry)
+		}
+		return data, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("expcache: remote GET %s: %s", key.Hex(), resp.Status)
+	}
+}
+
+// Put implements Remote: PUT the entry bytes; any non-2xx answer is an
+// error.
+func (h *HTTPRemote) Put(key Key, data []byte) error {
+	req, err := http.NewRequest(http.MethodPut, h.url(key), bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("expcache: remote PUT %s: %s", key.Hex(), resp.Status)
+	}
+	return nil
+}

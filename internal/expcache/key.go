@@ -20,6 +20,21 @@ type Key [sha256.Size]byte
 // Hex returns the key as a lowercase hex string (the cache filename stem).
 func (k Key) Hex() string { return hex.EncodeToString(k[:]) }
 
+// ParseKey inverts Hex: it accepts exactly a 64-character hex string. It is
+// the validation gate for externally supplied keys (the daemon's cache
+// entry routes), so a malformed or truncated key can never reach the
+// filesystem layer.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	if len(s) != hex.EncodedLen(len(k)) {
+		return Key{}, fmt.Errorf("expcache: key %q: want %d hex chars, got %d", s, hex.EncodedLen(len(k)), len(s))
+	}
+	if _, err := hex.Decode(k[:], []byte(s)); err != nil {
+		return Key{}, fmt.Errorf("expcache: key %q: %w", s, err)
+	}
+	return k, nil
+}
+
 // KeyBuilder accumulates labeled fields into a Key. Every field is written
 // as `name=value\n` with the value in a canonical, type-tagged form:
 // strings are quoted (so embedded separators cannot collide), floats are

@@ -1,0 +1,272 @@
+package expcache
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fakeRemote is an in-memory Remote with switchable failure injection.
+type fakeRemote struct {
+	mu      sync.Mutex
+	entries map[Key][]byte
+	gets    int
+	puts    int
+	getErr  error
+	putErr  error
+}
+
+func newFakeRemote() *fakeRemote {
+	return &fakeRemote{entries: map[Key][]byte{}}
+}
+
+func (f *fakeRemote) Get(key Key) ([]byte, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.gets++
+	if f.getErr != nil {
+		return nil, false, f.getErr
+	}
+	data, ok := f.entries[key]
+	return data, ok, nil
+}
+
+func (f *fakeRemote) Put(key Key, data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.puts++
+	if f.putErr != nil {
+		return f.putErr
+	}
+	f.entries[key] = append([]byte(nil), data...)
+	return nil
+}
+
+// TestRemoteHitWritesThrough pins the rendezvous read path: a local miss
+// answered by the remote counts as both a hit and a remote hit, and the
+// fetched bytes land in the local directory so the next lookup never
+// touches the remote again.
+func TestRemoteHitWritesThrough(t *testing.T) {
+	seed, _ := Open(t.TempDir())
+	remote := newFakeRemote()
+	seed.SetRemote(remote)
+	want := Do(seed, testKey(40), func() point { return point{Load: 0.25, Mean: 99} })
+
+	c, _ := Open(t.TempDir())
+	c.SetRemote(remote)
+	got := Do(c, testKey(40), func() point {
+		t.Fatal("computed despite a remote entry")
+		return point{}
+	})
+	if got != want {
+		t.Fatalf("remote hit = %+v, want %+v", got, want)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.RemoteHits != 1 || st.Misses != 0 {
+		t.Fatalf("stats after remote hit = %+v, want 1 hit / 1 remote hit / 0 misses", st)
+	}
+
+	// Write-through: the entry is now local, so a fresh handle on the same
+	// dir (with no remote) serves it without any remote traffic.
+	gets := remote.gets
+	c2, _ := Open(c.Dir())
+	again := Do(c2, testKey(40), func() point {
+		t.Fatal("computed despite a written-through entry")
+		return point{}
+	})
+	if again != want {
+		t.Fatalf("written-through value = %+v, want %+v", again, want)
+	}
+	if remote.gets != gets {
+		t.Fatalf("local hit reached the remote (%d gets, had %d)", remote.gets, gets)
+	}
+	st2 := c2.Stats()
+	if st2.Hits != 1 || st2.RemoteHits != 0 {
+		t.Fatalf("local-hit stats = %+v, want a plain local hit", st2)
+	}
+}
+
+// TestRemoteMissPublishesComputed pins the rendezvous write path: a
+// computed miss is written through to the remote so other participants can
+// rendezvous on it.
+func TestRemoteMissPublishesComputed(t *testing.T) {
+	c, _ := Open(t.TempDir())
+	remote := newFakeRemote()
+	c.SetRemote(remote)
+	want := Do(c, testKey(41), func() point { return point{Load: 0.5, Mean: 7} })
+	if remote.puts != 1 || len(remote.entries) != 1 {
+		t.Fatalf("computed miss not published: %d puts, %d entries", remote.puts, len(remote.entries))
+	}
+
+	other, _ := Open(t.TempDir())
+	other.SetRemote(remote)
+	got := Do(other, testKey(41), func() point {
+		t.Fatal("second participant recomputed a published entry")
+		return point{}
+	})
+	if got != want {
+		t.Fatalf("rendezvous value = %+v, want %+v", got, want)
+	}
+}
+
+// TestRemoteErrorsAreAdvisory pins degradation: a failing remote is counted
+// but never breaks a sweep — Get errors fall through to compute, Put errors
+// still leave the local entry in place.
+func TestRemoteErrorsAreAdvisory(t *testing.T) {
+	c, _ := Open(t.TempDir())
+	remote := newFakeRemote()
+	remote.getErr = errors.New("remote down")
+	remote.putErr = errors.New("remote down")
+	c.SetRemote(remote)
+
+	computes := 0
+	got := Do(c, testKey(42), func() point { computes++; return point{Load: 1, Mean: 3} })
+	if computes != 1 || got.Mean != 3 {
+		t.Fatalf("compute fallback broken: computes=%d got=%+v", computes, got)
+	}
+	st := c.Stats()
+	if st.RemoteErrors != 2 {
+		t.Fatalf("RemoteErrors = %d, want 2 (one failed Get, one failed Put)", st.RemoteErrors)
+	}
+	if st.Misses != 1 || st.RemoteHits != 0 {
+		t.Fatalf("stats = %+v, want a plain miss", st)
+	}
+
+	// The local entry survived the failed Put.
+	again := Do(c, testKey(42), func() point {
+		t.Fatal("recomputed despite a local entry")
+		return point{}
+	})
+	if again != got {
+		t.Fatalf("local entry lost after remote Put failure: %+v != %+v", again, got)
+	}
+}
+
+// TestRemoteUndecodableEntryRejected pins that garbage from the remote is a
+// remote error, never served and never written through.
+func TestRemoteUndecodableEntryRejected(t *testing.T) {
+	remote := newFakeRemote()
+	remote.entries[testKey(43)] = []byte("certainly not json")
+	c, _ := Open(t.TempDir())
+	c.SetRemote(remote)
+	computes := 0
+	got := Do(c, testKey(43), func() point { computes++; return point{Mean: 11} })
+	if computes != 1 || got.Mean != 11 {
+		t.Fatalf("undecodable remote entry not recomputed: computes=%d got=%+v", computes, got)
+	}
+	if st := c.Stats(); st.RemoteErrors != 1 || st.RemoteHits != 0 {
+		t.Fatalf("stats = %+v, want 1 remote error, 0 remote hits", st)
+	}
+}
+
+// TestEntryBytesAndPublishEntry pins the daemon-facing raw-entry API: a
+// published entry round-trips byte-for-byte, invalid JSON is rejected, and
+// a corrupt on-disk entry is healed (deleted), not served.
+func TestEntryBytesAndPublishEntry(t *testing.T) {
+	c, _ := Open(t.TempDir())
+	key := testKey(44)
+	if _, ok := c.EntryBytes(key); ok {
+		t.Fatal("EntryBytes reported a hit on an empty cache")
+	}
+	entry := []byte(`{"Load":0.5,"Mean":12}`)
+	if err := c.PublishEntry(key, entry); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.EntryBytes(key)
+	if !ok || string(got) != string(entry) {
+		t.Fatalf("EntryBytes = %q, %v; want the published bytes", got, ok)
+	}
+	if err := c.PublishEntry(key, []byte("not json")); err == nil {
+		t.Fatal("PublishEntry accepted invalid JSON")
+	}
+	var nilCache *Cache
+	if err := nilCache.PublishEntry(key, entry); err == nil {
+		t.Fatal("nil cache accepted a publish")
+	}
+
+	// Corrupt the published file behind the cache's back; EntryBytes must
+	// refuse to serve it and delete it so the slot heals.
+	if err := os.WriteFile(c.path(key), []byte(`{"Load":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.EntryBytes(key); ok {
+		t.Fatal("EntryBytes served a torn entry")
+	}
+	if _, err := os.Stat(c.path(key)); !os.IsNotExist(err) {
+		t.Fatalf("torn entry not deleted: %v", err)
+	}
+}
+
+// TestParseKey pins the strict hex-key grammar shared by the HTTP routes.
+func TestParseKey(t *testing.T) {
+	key := testKey(45)
+	parsed, err := ParseKey(key.Hex())
+	if err != nil || parsed != key {
+		t.Fatalf("ParseKey(Hex()) = %v, %v; want the original key", parsed, err)
+	}
+	for _, bad := range []string{
+		"", "zz", strings.Repeat("a", 63), strings.Repeat("a", 65),
+		strings.Repeat("g", 64), strings.Repeat("A", 63) + "!",
+	} {
+		if _, err := ParseKey(bad); err == nil {
+			t.Errorf("ParseKey(%q) accepted a malformed key", bad)
+		}
+	}
+}
+
+// TestHTTPRemoteAgainstFakeDaemon pins the HTTPRemote wire behavior — 200
+// hit, 404 clean miss, non-2xx error, PUT publish — against a minimal
+// in-process server speaking the daemon's entry routes.
+func TestHTTPRemoteAgainstFakeDaemon(t *testing.T) {
+	errKey := testKey(47) // the server 500s on this key
+	var mu sync.Mutex
+	store := map[string][]byte{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hex := strings.TrimPrefix(r.URL.Path, "/v1/cache/entries/")
+		switch r.Method {
+		case http.MethodGet:
+			if hex == errKey.Hex() {
+				http.Error(w, "internal", http.StatusInternalServerError)
+				return
+			}
+			mu.Lock()
+			data, ok := store[hex]
+			mu.Unlock()
+			if !ok {
+				http.NotFound(w, r)
+				return
+			}
+			w.Write(data) //nolint:errcheck
+		case http.MethodPut:
+			var buf [256]byte
+			n, _ := r.Body.Read(buf[:])
+			mu.Lock()
+			store[hex] = append([]byte(nil), buf[:n]...)
+			mu.Unlock()
+		}
+	}))
+	defer srv.Close()
+
+	h := NewHTTPRemote(srv.URL + "/") // trailing slash must be tolerated
+	key := testKey(46)
+	if _, ok, err := h.Get(key); ok || err != nil {
+		t.Fatalf("empty store Get = %v, %v; want clean miss", ok, err)
+	}
+	entry := []byte(`{"Load":1,"Mean":2}`)
+	if err := h.Put(key, entry); err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := h.Get(key)
+	if err != nil || !ok || string(data) != string(entry) {
+		t.Fatalf("Get after Put = %q, %v, %v", data, ok, err)
+	}
+
+	// A non-2xx answer is an error, not a miss.
+	if _, ok, err := h.Get(errKey); err == nil || ok {
+		t.Fatalf("500 answer Get = %v, %v; want an error", ok, err)
+	}
+}

@@ -103,7 +103,7 @@ func RunStudyWith(r Runner, benches []cpu.Benchmark, kinds []networks.Kind, p co
 	}
 	results := runIndexed(r, len(jobs), func(i int) BenchResult {
 		j := jobs[i]
-		return cachedBenchCell(r.Cache, j.b, j.k, p, CellSeed(seed, j.b.Name, j.k))
+		return cachedBenchCell(r, j.b, j.k, p, CellSeed(seed, j.b.Name, j.k))
 	})
 	rows := make([]StudyRow, 0, len(benches))
 	i := 0

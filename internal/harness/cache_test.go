@@ -36,7 +36,7 @@ func TestCachedFigure6MatchesGolden(t *testing.T) {
 			pc.Network = networks.PointToPoint
 			pc.Pattern = traffic.Uniform{Grid: cfg.Params.Grid}
 			pc.Load = load
-			s.Points = append(s.Points, cachedLoadPoint(c, pc))
+			s.Points = append(s.Points, cachedLoadPoint(Runner{Workers: 1, Cache: c}, pc))
 		}
 		panel.Series = append(panel.Series, s)
 		var b strings.Builder

@@ -39,16 +39,23 @@ func loadPointKey(cfg LoadPointConfig) expcache.Key {
 		Sum()
 }
 
-// cachedLoadPoint is RunLoadPoint behind the cache. Instrumented configs
-// never consult the cache: a cached LoadPoint carries no probe series or
-// trace spans, so serving one would silently disable observability.
-func cachedLoadPoint(c *expcache.Cache, cfg LoadPointConfig) LoadPoint {
-	if c == nil || cfg.Obs.Enabled() {
+// cachedLoadPoint is RunLoadPoint behind the cache and, on a miss, behind
+// the Runner's distributed fleet. Instrumented configs never consult the
+// cache or the fleet: a cached or remote LoadPoint carries no probe series
+// or trace spans, so serving one would silently disable observability.
+func cachedLoadPoint(r Runner, cfg LoadPointConfig) LoadPoint {
+	compute := func() LoadPoint {
+		if !cfg.Obs.Enabled() {
+			if pt, ok := distCell[LoadPoint](r.Dist, CellLoadPoint, specForLoadPoint(cfg)); ok {
+				return pt
+			}
+		}
 		return RunLoadPoint(cfg)
 	}
-	return expcache.Do(c, loadPointKey(cfg), func() LoadPoint {
-		return RunLoadPoint(cfg)
-	})
+	if r.Cache == nil || cfg.Obs.Enabled() {
+		return compute()
+	}
+	return expcache.Do(r.Cache, loadPointKey(cfg), compute)
 }
 
 // benchCellKey addresses one (benchmark, network) cell of the figure-7..10
@@ -73,13 +80,17 @@ func benchCellKey(b cpu.Benchmark, kind networks.Kind, p core.Params, seed int64
 // field the study renderers and CSV writers read (Runtime, Ops,
 // LatencyPerOp, MaxLatency, Energy) exactly; the embedded *core.Stats sink
 // keeps its exported counters but not its unexported accumulators.
-func cachedBenchCell(c *expcache.Cache, b cpu.Benchmark, kind networks.Kind, p core.Params, seed int64) BenchResult {
-	if c == nil {
+func cachedBenchCell(r Runner, b cpu.Benchmark, kind networks.Kind, p core.Params, seed int64) BenchResult {
+	compute := func() BenchResult {
+		if res, ok := distCell[BenchResult](r.Dist, CellBenchCell, specForBenchCell(b, kind, p, seed)); ok {
+			return res
+		}
 		return RunBenchmark(b, kind, p, seed)
 	}
-	return expcache.Do(c, benchCellKey(b, kind, p, seed), func() BenchResult {
-		return RunBenchmark(b, kind, p, seed)
-	})
+	if r.Cache == nil {
+		return compute()
+	}
+	return expcache.Do(r.Cache, benchCellKey(b, kind, p, seed), compute)
 }
 
 // scalingRowKey addresses one grid size of the scalability study. The row
@@ -93,12 +104,14 @@ func scalingRowKey(n int) expcache.Key {
 		Sum()
 }
 
-// cachedScalingRow is scalingRow behind the cache.
-func cachedScalingRow(c *expcache.Cache, n int) ScalingRow {
-	if c == nil {
+// cachedScalingRow is scalingRow behind the cache. Scaling rows are pure
+// closed-form analysis — microseconds of arithmetic, no simulation — so
+// they are never worth a network round trip and always compute locally.
+func cachedScalingRow(r Runner, n int) ScalingRow {
+	if r.Cache == nil {
 		return scalingRow(n)
 	}
-	return expcache.Do(c, scalingRowKey(n), func() ScalingRow {
+	return expcache.Do(r.Cache, scalingRowKey(n), func() ScalingRow {
 		return scalingRow(n)
 	})
 }
@@ -124,14 +137,18 @@ func resiliencePointKey(cfg ResilienceConfig, k networks.Kind, c fault.Class, ra
 		Sum()
 }
 
-// cachedResiliencePoint is RunResiliencePoint behind the cache.
-func cachedResiliencePoint(cache *expcache.Cache, cfg ResilienceConfig, k networks.Kind, c fault.Class, rate float64) ResiliencePoint {
-	if cache == nil {
+// cachedResiliencePoint is RunResiliencePoint behind the cache and fleet.
+func cachedResiliencePoint(r Runner, cfg ResilienceConfig, k networks.Kind, c fault.Class, rate float64) ResiliencePoint {
+	compute := func() ResiliencePoint {
+		if pt, ok := distCell[ResiliencePoint](r.Dist, CellResilience, specForResilience(cfg, k, c, rate)); ok {
+			return pt
+		}
 		return RunResiliencePoint(cfg, k, c, rate)
 	}
-	return expcache.Do(cache, resiliencePointKey(cfg, k, c, rate), func() ResiliencePoint {
-		return RunResiliencePoint(cfg, k, c, rate)
-	})
+	if r.Cache == nil {
+		return compute()
+	}
+	return expcache.Do(r.Cache, resiliencePointKey(cfg, k, c, rate), compute)
 }
 
 // inferencePointKey addresses one (network, graph, batch, seq) inference
@@ -160,21 +177,24 @@ func inferencePointKey(cfg InferenceConfig, k networks.Kind, graph string, batch
 	return b.Sum()
 }
 
-// cachedInferencePoint is RunInferencePoint behind the cache. The config is
-// validated before fan-out (InferenceStudyWith), so a run error here is a
-// bug, not bad input.
-func cachedInferencePoint(c *expcache.Cache, cfg InferenceConfig, k networks.Kind, graph string, batch, seq int) InferencePoint {
+// cachedInferencePoint is RunInferencePoint behind the cache and fleet.
+// The config is validated before fan-out (InferenceStudyWith), so a run
+// error here is a bug, not bad input.
+func cachedInferencePoint(r Runner, cfg InferenceConfig, k networks.Kind, graph string, batch, seq int) InferencePoint {
 	run := func() InferencePoint {
+		if pt, ok := distCell[InferencePoint](r.Dist, CellInference, specForInference(cfg, k, graph, batch, seq)); ok {
+			return pt
+		}
 		pt, err := RunInferencePoint(cfg, k, graph, batch, seq)
 		if err != nil {
 			panic(fmt.Sprintf("harness: inference point (%s, %s, %d, %d) failed after validation: %v", k, graph, batch, seq, err))
 		}
 		return pt
 	}
-	if c == nil {
+	if r.Cache == nil {
 		return run()
 	}
-	return expcache.Do(c, inferencePointKey(cfg, k, graph, batch, seq), run)
+	return expcache.Do(r.Cache, inferencePointKey(cfg, k, graph, batch, seq), run)
 }
 
 // saturationKey addresses one full bisection search: the probed config plus

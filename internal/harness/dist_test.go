@@ -1,0 +1,401 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"macrochip/internal/distrib"
+	"macrochip/internal/fault"
+	"macrochip/internal/networks"
+	"macrochip/internal/opgraph"
+	"macrochip/internal/traffic"
+	"macrochip/internal/workload"
+)
+
+// pipeWorker is one in-process worker attached to a coordinator over
+// io.Pipe transports — the unit-test stand-in for a spawned `macrosim
+// -worker` process. crash severs both pipes abruptly, like a SIGKILL.
+type pipeWorker struct {
+	crash func()
+}
+
+// startPipeWorker runs ServeWorker in-process and attaches it to c. The
+// connection is registered as remote so its capacity unit is surrendered on
+// detach (matching a TCP worker's lifecycle, which has no respawn).
+func startPipeWorker(tb testing.TB, c *Coordinator, name string, r Runner) *pipeWorker {
+	tb.Helper()
+	cellR, cellW := io.Pipe()     // coordinator → worker
+	resultR, resultW := io.Pipe() // worker → coordinator
+	quit := make(chan struct{})
+	go func() {
+		ServeWorker(cellR, resultW, r, name, quit, io.Discard) //nolint:errcheck // pipe teardown errors are expected
+		resultW.Close()
+	}()
+	kill := func() {
+		cellW.Close()
+		cellR.Close()
+		resultW.Close()
+		resultR.Close()
+	}
+	if !c.attach(name, resultR, cellW, kill, true, true) {
+		tb.Fatalf("attach %s refused", name)
+	}
+	return &pipeWorker{crash: kill}
+}
+
+// pipeFleet builds a transport-free coordinator with n in-process workers.
+func pipeFleet(tb testing.TB, n int, cfg CoordinatorConfig) (*Coordinator, []*pipeWorker) {
+	tb.Helper()
+	c := newCoordinator(cfg)
+	workers := make([]*pipeWorker, n)
+	for i := range workers {
+		workers[i] = startPipeWorker(tb, c, fmt.Sprintf("pipe-%d", i), Runner{Workers: 1})
+	}
+	if err := c.AwaitWorkers(n, 10*time.Second); err != nil {
+		tb.Fatal(err)
+	}
+	return c, workers
+}
+
+// testFleetConfig keeps unit-test fleets snappy without touching the
+// production defaults.
+func testFleetConfig() CoordinatorConfig {
+	return CoordinatorConfig{CellTimeout: 30 * time.Second, Seed: 7}
+}
+
+// TestDistFigure6ByteIdentity pins the headline guarantee: a figure-6 panel
+// swept through the distributed fleet is byte-identical to the serial sweep
+// at 1, 2, and 4 workers.
+func TestDistFigure6ByteIdentity(t *testing.T) {
+	cfg := quickCfg()
+	render := func(r Runner) string {
+		panel, err := Figure6PanelWith(r, cfg, "uniform",
+			[]networks.Kind{networks.PointToPoint}, []float64{0.01, 0.02})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := WriteFigure6CSV(&b, panel); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	serial := render(Serial)
+	for _, n := range []int{1, 2, 4} {
+		c, _ := pipeFleet(t, n, testFleetConfig())
+		got := render(Runner{Dist: c})
+		st := c.Stats()
+		c.Close()
+		if got != serial {
+			t.Errorf("%d workers: distributed CSV differs from serial\nserial:\n%s\ndist:\n%s", n, serial, got)
+		}
+		if st.Completed == 0 {
+			t.Errorf("%d workers: no cells executed remotely: %+v", n, st)
+		}
+		if st.LocalFallback != 0 || st.Failed != 0 {
+			t.Errorf("%d workers: unexpected failures on a healthy fleet: %+v", n, st)
+		}
+	}
+}
+
+// TestDistResilienceByteIdentity extends the identity guarantee to the
+// fault-injection sweep (a different cell kind with its own spec codec).
+func TestDistResilienceByteIdentity(t *testing.T) {
+	cfg := quickResilienceCfg()
+	cfg.Networks = []networks.Kind{networks.PointToPoint}
+	cfg.Classes = []fault.Class{fault.DarkLaser}
+	render := func(r Runner) string {
+		var b strings.Builder
+		if err := WriteResilienceCSV(&b, ResilienceStudyWith(r, cfg)); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	serial := render(Serial)
+	for _, n := range []int{1, 2, 4} {
+		c, _ := pipeFleet(t, n, testFleetConfig())
+		got := render(Runner{Dist: c})
+		st := c.Stats()
+		c.Close()
+		if got != serial {
+			t.Errorf("%d workers: distributed resilience CSV differs from serial", n)
+		}
+		if st.Completed == 0 {
+			t.Errorf("%d workers: no cells executed remotely: %+v", n, st)
+		}
+	}
+}
+
+// TestDistInferenceByteIdentity extends the identity guarantee to the
+// operator-graph replay sweep.
+func TestDistInferenceByteIdentity(t *testing.T) {
+	cfg := QuickInferenceConfig()
+	cfg.Networks = []networks.Kind{networks.PointToPoint}
+	cfg.Graphs = opgraph.PresetNames()[:1]
+	render := func(r Runner) string {
+		points, err := InferenceStudyWith(r, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := WriteInferenceCSV(&b, points); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	serial := render(Serial)
+	for _, n := range []int{1, 2, 4} {
+		c, _ := pipeFleet(t, n, testFleetConfig())
+		got := render(Runner{Dist: c})
+		st := c.Stats()
+		c.Close()
+		if got != serial {
+			t.Errorf("%d workers: distributed inference CSV differs from serial", n)
+		}
+		if st.Completed == 0 {
+			t.Errorf("%d workers: no cells executed remotely: %+v", n, st)
+		}
+	}
+}
+
+// attachScripted attaches a raw-protocol peer that plays an arbitrary
+// (usually misbehaving) script — the chaos half of the protocol tests.
+func attachScripted(tb testing.TB, c *Coordinator, name string, script func(rd *distrib.Reader, w io.Writer)) {
+	tb.Helper()
+	cellR, cellW := io.Pipe()
+	resultR, resultW := io.Pipe()
+	go func() {
+		defer resultW.Close()
+		script(distrib.NewReader(cellR), resultW)
+	}()
+	kill := func() {
+		cellW.Close()
+		cellR.Close()
+		resultW.Close()
+		resultR.Close()
+	}
+	if !c.attach(name, resultR, cellW, kill, true, true) {
+		tb.Fatalf("attach %s refused", name)
+	}
+}
+
+// TestDistChaosMisbehavingWorkers pins the failure policy end to end: a
+// fleet of protocol violators — garbage replies, stale IDs, version skew,
+// missing hello, hangs — loses cells to reassignment but never loses them
+// for good, and the sweep's results still match serial exactly.
+func TestDistChaosMisbehavingWorkers(t *testing.T) {
+	cfg := testFleetConfig()
+	cfg.CellTimeout = 500 * time.Millisecond // the hang worker must trip it quickly
+	c := newCoordinator(cfg)
+
+	hello := func(w io.Writer) {
+		distrib.Write(w, distrib.Msg{Type: distrib.TypeHello, Version: distrib.Version, Worker: "chaos"}) //nolint:errcheck
+	}
+	// Garbage: answers its first cell with a line that is not JSON.
+	attachScripted(t, c, "garbage", func(rd *distrib.Reader, w io.Writer) {
+		hello(w)
+		if _, err := rd.Read(); err != nil {
+			return
+		}
+		io.WriteString(w, "certainly not json\n") //nolint:errcheck
+	})
+	// Stale: answers its first cell with a result for a different ID —
+	// impersonating an answer the coordinator never asked it for.
+	attachScripted(t, c, "stale", func(rd *distrib.Reader, w io.Writer) {
+		hello(w)
+		m, err := rd.Read()
+		if err != nil {
+			return
+		}
+		distrib.Write(w, distrib.Msg{Type: distrib.TypeResult, ID: m.ID + 1000, Value: []byte(`{}`)}) //nolint:errcheck
+	})
+	// Skew: wrong protocol version; must be dropped before any cell.
+	attachScripted(t, c, "skew", func(rd *distrib.Reader, w io.Writer) {
+		distrib.Write(w, distrib.Msg{Type: distrib.TypeHello, Version: distrib.Version + 1, Worker: "skew"}) //nolint:errcheck
+	})
+	// Rude: skips the handshake entirely.
+	attachScripted(t, c, "rude", func(rd *distrib.Reader, w io.Writer) {
+		distrib.Write(w, distrib.Msg{Type: distrib.TypeResult, ID: 1, Value: []byte(`{}`)}) //nolint:errcheck
+	})
+	// Hang: accepts a cell and never answers; only the deadline saves it.
+	attachScripted(t, c, "hang", func(rd *distrib.Reader, w io.Writer) {
+		hello(w)
+		rd.Read() //nolint:errcheck
+		select {} //nolint:staticcheck // deliberately wedged
+	})
+	// One honest worker keeps the fleet alive.
+	startPipeWorker(t, c, "honest", Runner{Workers: 1})
+
+	cfgPt := quickCfg()
+	cfgPt.Network = networks.PointToPoint
+	cfgPt.Pattern = traffic.Uniform{Grid: cfgPt.Params.Grid}
+	want := map[float64]LoadPoint{}
+	for _, load := range []float64{0.01, 0.02, 0.04} {
+		pc := cfgPt
+		pc.Load = load
+		pc.Seed = PointSeed(1, pc.Network, "uniform", load)
+		want[load] = RunLoadPoint(pc)
+	}
+	for load, wantPt := range want {
+		pc := cfgPt
+		pc.Load = load
+		pc.Seed = PointSeed(1, pc.Network, "uniform", load)
+		got := cachedLoadPoint(Runner{Dist: c}, pc)
+		a, _ := json.Marshal(got)
+		b, _ := json.Marshal(wantPt)
+		if string(a) != string(b) {
+			t.Errorf("load %v: dist result %s != serial %s", load, a, b)
+		}
+	}
+	st := c.Stats()
+	c.Close()
+	if st.Retried == 0 {
+		t.Errorf("chaos fleet produced no reassignments: %+v", st)
+	}
+	if st.Completed < 3 {
+		t.Errorf("honest worker completed %d cells, want all 3: %+v", st.Completed, st)
+	}
+}
+
+// TestDistWorkerCellErrorFallsBackLocally pins the permanent-failure arm: a
+// worker-reported cell error is not retried remotely — the caller computes
+// locally and the failure is counted.
+func TestDistWorkerCellErrorFallsBackLocally(t *testing.T) {
+	c, _ := pipeFleet(t, 1, testFleetConfig())
+	defer c.Close()
+	if v, ok := c.Exec("no-such-kind", []byte(`{}`)); ok {
+		t.Fatalf("Exec of bogus kind succeeded: %s", v)
+	}
+	st := c.Stats()
+	if st.Failed != 1 || st.Retried != 0 {
+		t.Fatalf("want exactly one permanent failure, no retries: %+v", st)
+	}
+}
+
+// TestDistDrainFallsBackLocally pins that a drained coordinator is inert
+// but harmless: every cell computes locally and the sweep still completes.
+func TestDistDrainFallsBackLocally(t *testing.T) {
+	c, _ := pipeFleet(t, 2, testFleetConfig())
+	c.Drain()
+	if p := c.Parallelism(); p != 0 {
+		t.Fatalf("Parallelism after drain = %d, want 0", p)
+	}
+	cfg := quickCfg()
+	cfg.Network = networks.PointToPoint
+	cfg.Pattern = traffic.Uniform{Grid: cfg.Params.Grid}
+	cfg.Load = 0.02
+	got := cachedLoadPoint(Runner{Dist: c}, cfg)
+	want := RunLoadPoint(cfg)
+	a, _ := json.Marshal(got)
+	b, _ := json.Marshal(want)
+	if string(a) != string(b) {
+		t.Fatalf("post-drain result %s != serial %s", a, b)
+	}
+	c.Close()
+}
+
+// TestDistAllWorkersDeadAutoDrain pins the crash-storm endgame: when every
+// worker connection dies, the coordinator drains itself and the sweep
+// completes locally instead of queueing forever.
+func TestDistAllWorkersDeadAutoDrain(t *testing.T) {
+	c, workers := pipeFleet(t, 2, testFleetConfig())
+	for _, w := range workers {
+		w.crash()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Parallelism() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if p := c.Parallelism(); p != 0 {
+		t.Fatalf("Parallelism = %d after all workers crashed, want 0 (auto-drain)", p)
+	}
+	cfg := quickCfg()
+	cfg.Network = networks.PointToPoint
+	cfg.Pattern = traffic.Uniform{Grid: cfg.Params.Grid}
+	cfg.Load = 0.02
+	got := cachedLoadPoint(Runner{Dist: c}, cfg)
+	want := RunLoadPoint(cfg)
+	a, _ := json.Marshal(got)
+	b, _ := json.Marshal(want)
+	if string(a) != string(b) {
+		t.Fatalf("post-crash result %s != serial %s", a, b)
+	}
+	c.Close()
+}
+
+// TestCellSpecsRoundTrip pins that every cell kind's wire spec round-trips
+// through JSON into a config whose execution matches the direct in-process
+// call — the worker side of the byte-identity argument. The traffic
+// pattern travels by Name and is rebuilt via traffic.ByName; everything
+// else travels by value.
+func TestCellSpecsRoundTrip(t *testing.T) {
+	run := func(kind string, spec any) []byte {
+		t.Helper()
+		data, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := RunCell(Serial, kind, data)
+		if err != nil {
+			t.Fatalf("RunCell(%s): %v", kind, err)
+		}
+		out, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	mustJSON := func(v any) []byte {
+		t.Helper()
+		out, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	lp := quickCfg()
+	lp.Network = networks.PointToPoint
+	lp.Pattern = traffic.Uniform{Grid: lp.Params.Grid}
+	lp.Load = 0.02
+	lp.Seed = PointSeed(1, lp.Network, "uniform", lp.Load)
+	if got, want := run(CellLoadPoint, specForLoadPoint(lp)), mustJSON(RunLoadPoint(lp)); string(got) != string(want) {
+		t.Errorf("loadpoint round-trip: %s != %s", got, want)
+	}
+
+	bench := workload.All(lp.Params.Grid, workload.Scale(0.01))[0]
+	seed := CellSeed(1, bench.Name, networks.PointToPoint)
+	if got, want := run(CellBenchCell, specForBenchCell(bench, networks.PointToPoint, lp.Params, seed)),
+		mustJSON(RunBenchmark(bench, networks.PointToPoint, lp.Params, seed)); string(got) != string(want) {
+		t.Errorf("benchcell round-trip: %s != %s", got, want)
+	}
+
+	rc := quickResilienceCfg()
+	if got, want := run(CellResilience, specForResilience(rc, networks.PointToPoint, fault.DarkLaser, 80)),
+		mustJSON(RunResiliencePoint(rc, networks.PointToPoint, fault.DarkLaser, 80)); string(got) != string(want) {
+		t.Errorf("resilience round-trip: %s != %s", got, want)
+	}
+
+	ic := QuickInferenceConfig()
+	graph := opgraph.PresetNames()[0]
+	wantPt, err := RunInferencePoint(ic, networks.PointToPoint, graph, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := run(CellInference, specForInference(ic, networks.PointToPoint, graph, 1, 16)), mustJSON(wantPt); string(got) != string(want) {
+		t.Errorf("inference round-trip: %s != %s", got, want)
+	}
+}
+
+// TestDistSpecUnknownFieldRejected pins the version-skew guard: a spec with
+// a field this build does not know is a cell error, not a silent partial
+// simulation.
+func TestDistSpecUnknownFieldRejected(t *testing.T) {
+	if _, err := RunCell(Serial, CellLoadPoint, []byte(`{"params":{},"bogus_field":1}`)); err == nil {
+		t.Fatal("RunCell accepted a spec with an unknown field")
+	}
+}

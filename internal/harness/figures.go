@@ -77,7 +77,7 @@ func Figure6With(r Runner, base LoadPointConfig) []Figure6Panel {
 		cfg.Pattern = j.pat
 		cfg.Load = j.load
 		cfg.Seed = PointSeed(base.Seed, j.kind, j.pat.Name(), j.load)
-		return cachedLoadPoint(r.Cache, cfg)
+		return cachedLoadPoint(r, cfg)
 	})
 	panels := []Figure6Panel{}
 	i := 0
@@ -133,7 +133,7 @@ func Figure6PanelWith(r Runner, base LoadPointConfig, pattern string, kinds []ne
 		cfg.Pattern = pat
 		cfg.Load = j.load
 		cfg.Seed = PointSeed(base.Seed, j.kind, pat.Name(), j.load)
-		return cachedLoadPoint(r.Cache, cfg)
+		return cachedLoadPoint(r, cfg)
 	})
 	panel := Figure6Panel{Pattern: pat.Name()}
 	i := 0

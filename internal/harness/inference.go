@@ -288,7 +288,7 @@ func InferenceStudyWith(r Runner, cfg InferenceConfig) ([]InferencePoint, error)
 	}
 	return runIndexed(r, len(jobs), func(i int) InferencePoint {
 		j := jobs[i]
-		return cachedInferencePoint(r.Cache, cfg, j.k, j.graph, j.batch, j.seq)
+		return cachedInferencePoint(r, cfg, j.k, j.graph, j.batch, j.seq)
 	}), nil
 }
 

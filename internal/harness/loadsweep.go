@@ -230,27 +230,29 @@ func runLoadPointSharded(cfg LoadPointConfig) (LoadPoint, bool) {
 // inherently sequential — each probe depends on the last — but distinct
 // searches are independent; see SaturationSweep.
 func SaturationSearch(cfg LoadPointConfig, lo, hi, tol float64) float64 {
-	return saturationSearch(nil, cfg, lo, hi, tol)
+	return saturationSearch(Serial, cfg, lo, hi, tol)
 }
 
-// saturationSearch is SaturationSearch with an optional result cache: the
-// whole search is memoized under (config, bracket, tolerance), and on a
-// partially warm cache each bisection probe is itself a cacheable load
-// point, so a repeated search replays from disk without simulating.
-func saturationSearch(c *expcache.Cache, cfg LoadPointConfig, lo, hi, tol float64) float64 {
-	if c == nil {
-		return bisectSaturation(nil, cfg, lo, hi, tol)
+// saturationSearch is SaturationSearch on a Runner: the whole search is
+// memoized under (config, bracket, tolerance), and on a partially warm
+// cache each bisection probe is itself a cacheable load point, so a
+// repeated search replays from disk without simulating. Probes go through
+// cachedLoadPoint, so a distributed fleet serves them too — the bisection
+// stays sequential but each probe may execute remotely.
+func saturationSearch(r Runner, cfg LoadPointConfig, lo, hi, tol float64) float64 {
+	if r.Cache == nil {
+		return bisectSaturation(r, cfg, lo, hi, tol)
 	}
-	return expcache.Do(c, saturationKey(cfg, lo, hi, tol), func() float64 {
-		return bisectSaturation(c, cfg, lo, hi, tol)
+	return expcache.Do(r.Cache, saturationKey(cfg, lo, hi, tol), func() float64 {
+		return bisectSaturation(r, cfg, lo, hi, tol)
 	})
 }
 
-func bisectSaturation(c *expcache.Cache, cfg LoadPointConfig, lo, hi, tol float64) float64 {
+func bisectSaturation(r Runner, cfg LoadPointConfig, lo, hi, tol float64) float64 {
 	for hi-lo > tol {
 		mid := (lo + hi) / 2
 		cfg.Load = mid
-		if cachedLoadPoint(c, cfg).Saturated {
+		if cachedLoadPoint(r, cfg).Saturated {
 			hi = mid
 		} else {
 			lo = mid
@@ -265,6 +267,6 @@ func bisectSaturation(c *expcache.Cache, cfg LoadPointConfig, lo, hi, tol float6
 // independent searches (e.g. the five networks of a §6.1 comparison).
 func SaturationSweep(r Runner, cfgs []LoadPointConfig, lo, hi, tol float64) []float64 {
 	return runIndexed(r, len(cfgs), func(i int) float64 {
-		return saturationSearch(r.Cache, cfgs[i], lo, hi, tol)
+		return saturationSearch(r, cfgs[i], lo, hi, tol)
 	})
 }

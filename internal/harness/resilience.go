@@ -174,7 +174,7 @@ func ResilienceStudyWith(r Runner, cfg ResilienceConfig) []ResiliencePoint {
 	}
 	return runIndexed(r, len(jobs), func(i int) ResiliencePoint {
 		j := jobs[i]
-		return cachedResiliencePoint(r.Cache, cfg, j.k, j.c, j.rate)
+		return cachedResiliencePoint(r, cfg, j.k, j.c, j.rate)
 	})
 }
 

@@ -35,6 +35,14 @@ type Runner struct {
 	// (pinned by warm-vs-cold determinism tests); nil preserves the
 	// uncached behavior exactly.
 	Cache *expcache.Cache
+	// Dist, when non-nil, offers every cache-miss cell to the
+	// coordinator's worker fleet before simulating in-process. The fleet
+	// executes the same pure (config, derived seed) cells through the same
+	// entry points, so output stays byte-identical to serial at any worker
+	// count (pinned by the dist identity tests); cells the fleet cannot
+	// serve — drain, crash storms, exhausted retries — fall back to local
+	// compute, so a sweep always completes.
+	Dist *Coordinator
 }
 
 // Serial is the single-worker Runner, for debugging and for callers that
@@ -59,9 +67,15 @@ func (r Runner) EffectiveWorkers() int {
 // runIndexed evaluates fn(0) … fn(n-1) on the pool and returns the results
 // slotted by index. Workers pull the next index from a shared counter, so
 // an expensive point never strands idle cores behind a fixed pre-split.
+// With a distributed fleet attached the pool widens to the fleet size:
+// dispatching goroutines mostly block on remote results, and a pool
+// narrower than the fleet would leave workers idle.
 func runIndexed[T any](r Runner, n int, fn func(int) T) []T {
 	out := make([]T, n)
 	w := r.EffectiveWorkers()
+	if d := r.Dist.Parallelism(); d > w {
+		w = d
+	}
 	if w > n {
 		w = n
 	}

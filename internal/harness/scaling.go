@@ -53,7 +53,7 @@ func ScalingStudy(ns []int) []ScalingRow { return ScalingStudyWith(Runner{}, ns)
 // is an independent analysis, so the sizes fan out across the pool.
 func ScalingStudyWith(r Runner, ns []int) []ScalingRow {
 	return runIndexed(r, len(ns), func(i int) ScalingRow {
-		return cachedScalingRow(r.Cache, ns[i])
+		return cachedScalingRow(r, ns[i])
 	})
 }
 

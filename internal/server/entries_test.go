@@ -1,0 +1,152 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"macrochip/internal/expcache"
+	"macrochip/internal/harness"
+)
+
+func entryKey(n int64) expcache.Key {
+	return expcache.NewKey("entries-test-v1").Int("n", n).Sum()
+}
+
+func putEntry(t *testing.T, url string, body []byte) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	return resp.StatusCode, buf.Bytes()
+}
+
+// TestCacheEntryPutGetRoundTrip pins the rendezvous store: a PUT entry
+// comes back byte-for-byte on GET, and the cache doc counts both sides.
+func TestCacheEntryPutGetRoundTrip(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+	key := entryKey(1)
+	entry := []byte(`{"load":0.25,"mean_ns":42}`)
+
+	code, body := putEntry(t, ts.URL+"/v1/cache/entries/"+key.Hex(), entry)
+	if code != http.StatusOK {
+		t.Fatalf("PUT = %d: %s", code, body)
+	}
+	var ack struct {
+		Key   string `json:"key"`
+		Bytes int    `json:"bytes"`
+	}
+	if err := json.Unmarshal(body, &ack); err != nil || ack.Key != key.Hex() || ack.Bytes != len(entry) {
+		t.Fatalf("PUT ack = %s (err %v), want key %s / %d bytes", body, err, key.Hex(), len(entry))
+	}
+
+	code, _, got := get(t, ts.URL+"/v1/cache/entries/"+key.Hex())
+	if code != http.StatusOK || string(got) != string(entry) {
+		t.Fatalf("GET = %d %q, want 200 with the published bytes", code, got)
+	}
+
+	code, _, doc := get(t, ts.URL+"/v1/cache/stats")
+	if code != http.StatusOK {
+		t.Fatalf("cache stats = %d: %s", code, doc)
+	}
+	var stats struct {
+		EntriesServed uint64 `json:"entries_served"`
+		EntriesStored uint64 `json:"entries_stored"`
+	}
+	if err := json.Unmarshal(doc, &stats); err != nil {
+		t.Fatalf("cache stats not JSON: %v\n%s", err, doc)
+	}
+	if stats.EntriesServed != 1 || stats.EntriesStored != 1 {
+		t.Fatalf("entries counters = %+v, want 1 served / 1 stored", stats)
+	}
+}
+
+// TestCacheEntryErrors pins the route's failure grammar: absent entry 404,
+// malformed key 400, invalid JSON body 400, disabled cache 503.
+func TestCacheEntryErrors(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+	missing := entryKey(2)
+	if code, _, body := get(t, ts.URL+"/v1/cache/entries/"+missing.Hex()); code != http.StatusNotFound {
+		t.Fatalf("absent entry GET = %d: %s", code, body)
+	}
+	if code, body := putEntry(t, ts.URL+"/v1/cache/entries/"+missing.Hex(), []byte("not json")); code != http.StatusBadRequest {
+		t.Fatalf("invalid-JSON PUT = %d: %s", code, body)
+	}
+	for _, bad := range []string{"zz", strings.Repeat("a", 63), strings.Repeat("g", 64)} {
+		if code, _, body := get(t, ts.URL+"/v1/cache/entries/"+bad); code != http.StatusBadRequest {
+			t.Fatalf("malformed key %q GET = %d: %s", bad, code, body)
+		}
+	}
+
+	_, noCache, _ := newTestServer(t, func(c *Config) { c.Runner = harness.Runner{} })
+	if code, _, body := get(t, noCache.URL+"/v1/cache/entries/"+missing.Hex()); code != http.StatusServiceUnavailable {
+		t.Fatalf("disabled-cache GET = %d: %s", code, body)
+	}
+	if code, body := putEntry(t, noCache.URL+"/v1/cache/entries/"+missing.Hex(), []byte(`{}`)); code != http.StatusServiceUnavailable {
+		t.Fatalf("disabled-cache PUT = %d: %s", code, body)
+	}
+}
+
+// TestCacheEntryFeedsExperiments pins the rendezvous end to end inside one
+// process: an entry published over HTTP under the key a harness point would
+// use is then served to that point as a cache hit — the daemon's GET/PUT
+// surface and the runner share one store.
+func TestCacheEntryFeedsExperiments(t *testing.T) {
+	_, ts, cache := newTestServer(t, nil)
+	key := entryKey(3)
+	entry := []byte(`{"published":"via http"}`)
+	if code, body := putEntry(t, ts.URL+"/v1/cache/entries/"+key.Hex(), entry); code != http.StatusOK {
+		t.Fatalf("PUT = %d: %s", code, body)
+	}
+	data, ok := cache.EntryBytes(key)
+	if !ok || string(data) != string(entry) {
+		t.Fatalf("runner-side EntryBytes = %q, %v; want the HTTP-published entry", data, ok)
+	}
+}
+
+// TestDistStatsRoute pins /v1/dist/stats in both modes: enabled=false
+// without a coordinator, and live counters with one attached.
+func TestDistStatsRoute(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+	code, _, body := get(t, ts.URL+"/v1/dist/stats")
+	if code != http.StatusOK {
+		t.Fatalf("dist stats = %d: %s", code, body)
+	}
+	var off struct {
+		Enabled bool `json:"enabled"`
+	}
+	if err := json.Unmarshal(body, &off); err != nil || off.Enabled {
+		t.Fatalf("dist stats without a coordinator = %s (err %v), want enabled=false", body, err)
+	}
+
+	// A listener-only coordinator (no local workers) is the lightest real
+	// coordinator the daemon can front.
+	dist, err := harness.NewCoordinator(harness.CoordinatorConfig{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dist.Close()
+	_, ts2, _ := newTestServer(t, func(c *Config) { c.Dist = dist })
+	code, _, body = get(t, ts2.URL+"/v1/dist/stats")
+	if code != http.StatusOK {
+		t.Fatalf("dist stats = %d: %s", code, body)
+	}
+	var on struct {
+		Enabled bool              `json:"enabled"`
+		Stats   harness.DistStats `json:"stats"`
+	}
+	if err := json.Unmarshal(body, &on); err != nil || !on.Enabled {
+		t.Fatalf("dist stats with a coordinator = %s (err %v), want enabled=true", body, err)
+	}
+}

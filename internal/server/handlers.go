@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strconv"
@@ -196,10 +197,77 @@ func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) cacheDoc() map[string]any {
 	c := s.Cache()
 	return map[string]any{
-		"enabled": c != nil,
-		"dir":     c.Dir(),
-		"stats":   c.Stats(),
+		"enabled":        c != nil,
+		"dir":            c.Dir(),
+		"stats":          c.Stats(),
+		"entries_served": s.entriesServed.Load(),
+		"entries_stored": s.entriesStored.Load(),
 	}
+}
+
+// handleCacheEntryGet is GET /v1/cache/entries/{key}: serve one raw entry
+// from the shared store — the rendezvous read of a distributed sweep. 404
+// is a clean miss; a disabled cache is 503 so clients can tell "not here"
+// from "nowhere to look".
+func (s *Server) handleCacheEntryGet(w http.ResponseWriter, r *http.Request) {
+	c := s.Cache()
+	if c == nil {
+		writeError(w, http.StatusServiceUnavailable, "result cache disabled", "")
+		return
+	}
+	key, err := expcache.ParseKey(r.PathValue("key"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), "key")
+		return
+	}
+	data, ok := c.EntryBytes(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such entry", "")
+		return
+	}
+	s.entriesServed.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data) //nolint:errcheck // response already committed
+}
+
+// handleCacheEntryPut is PUT /v1/cache/entries/{key}: publish one entry
+// into the shared store — the rendezvous write. The body must be valid
+// JSON (the invariant every local writer maintains); entries are
+// content-addressed, so re-publishing a key is harmless.
+func (s *Server) handleCacheEntryPut(w http.ResponseWriter, r *http.Request) {
+	c := s.Cache()
+	if c == nil {
+		writeError(w, http.StatusServiceUnavailable, "result cache disabled", "")
+		return
+	}
+	key, err := expcache.ParseKey(r.PathValue("key"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), "key")
+		return
+	}
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading entry body: "+err.Error(), "")
+		return
+	}
+	if err := c.PublishEntry(key, data); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), "")
+		return
+	}
+	s.entriesStored.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{"key": key.Hex(), "bytes": len(data)})
+}
+
+// handleDistStats is GET /v1/dist/stats: the attached coordinator's live
+// counters, or enabled=false when the daemon is not fronting a sweep.
+func (s *Server) handleDistStats(w http.ResponseWriter, r *http.Request) {
+	d := s.cfg.Dist
+	if d == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"enabled": true, "stats": d.Stats()})
 }
 
 // clientKey is the rate-limit identity: the remote IP without the

@@ -23,6 +23,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 	"time"
 
 	"macrochip/internal/expcache"
@@ -50,6 +51,11 @@ type Config struct {
 	RequestTimeout time.Duration
 	// PollInterval is the NDJSON progress heartbeat (default 1 s).
 	PollInterval time.Duration
+	// Dist, when non-nil, is a distributed-sweep coordinator whose live
+	// counters the daemon exposes at GET /v1/dist/stats. The daemon does
+	// not own or drain it — it is a read-only window for operators watching
+	// a sweep.
+	Dist *harness.Coordinator
 	// Log receives structured access and lifecycle logs (default
 	// slog.Default()).
 	Log *slog.Logger
@@ -65,6 +71,12 @@ type Server struct {
 	limiter *Limiter
 	handler http.Handler
 	started time.Time
+
+	// entriesServed / entriesStored count the cache rendezvous traffic:
+	// entries handed to remote readers (GET hits) and entries published by
+	// remote writers (successful PUTs).
+	entriesServed atomic.Uint64
+	entriesStored atomic.Uint64
 }
 
 // New builds a Server and starts its queue workers.
@@ -113,6 +125,9 @@ func New(cfg Config) *Server {
 	api.HandleFunc("GET /v1/experiments/{id}", s.handleStatus)
 	api.HandleFunc("GET /v1/experiments/{id}/result", s.handleResult)
 	api.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
+	api.HandleFunc("GET /v1/cache/entries/{key}", s.handleCacheEntryGet)
+	api.HandleFunc("PUT /v1/cache/entries/{key}", s.handleCacheEntryPut)
+	api.HandleFunc("GET /v1/dist/stats", s.handleDistStats)
 
 	mux := http.NewServeMux()
 	mux.Handle("/", http.TimeoutHandler(api, cfg.RequestTimeout, "request timed out"))
