@@ -48,7 +48,7 @@ bench-smoke:
 # for dashboards and PR-to-PR diffs). BENCH_BASELINE names the committed
 # files; bump it per baseline-refreshing PR so history stays diffable.
 BENCH_COUNT ?= 5
-BENCH_BASELINE ?= BENCH_pr9
+BENCH_BASELINE ?= BENCH_pr10
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunLoadPoint|BenchmarkLoadSweep|BenchmarkOpGraphReplay|BenchmarkInferenceSweep|BenchmarkShardedLoadPoint|BenchmarkDistributedSweep' \
 		-benchmem -count $(BENCH_COUNT) ./internal/harness | tee $(BENCH_BASELINE).txt

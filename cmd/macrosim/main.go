@@ -35,6 +35,7 @@ import (
 	"strings"
 
 	"macrochip"
+	"macrochip/internal/distrib"
 	"macrochip/internal/expcache"
 	"macrochip/internal/harness"
 	"macrochip/internal/metrics"
@@ -60,13 +61,14 @@ func main() {
 	cacheDir := flag.String("cache-dir", expcache.DefaultDir(), "result cache directory (worker mode)")
 	noCache := flag.Bool("no-cache", false, "disable the result cache (worker mode)")
 	cacheURL := flag.String("cache-url", "", "rendezvous daemon base URL for the shared cache tier, e.g. http://host:8080 (worker mode)")
+	distDepth := flag.Int("dist-depth", distrib.DefaultCredits, "in-flight cell window advertised to the coordinator (worker mode)")
 	flag.Parse()
 
 	// Worker mode must come before anything prints: in -worker mode stdout
 	// carries the wire protocol, and a stray banner would be a framing
 	// violation the coordinator tears the session down for.
 	if *worker || *connect != "" {
-		os.Exit(runWorker(*connect, *cacheDir, *noCache, *cacheURL))
+		os.Exit(runWorker(*connect, *cacheDir, *noCache, *cacheURL, *distDepth))
 	}
 
 	sys := macrochip.NewSystem(macrochip.WithSeed(*seed))

@@ -7,11 +7,21 @@
 //
 // The conversation is deliberately small:
 //
-//	worker → coordinator   {"type":"hello","version":1,"worker":"proc-0"}
+//	worker → coordinator   {"type":"hello","version":2,"worker":"proc-0","credits":8}
 //	coordinator → worker   {"type":"cell","id":7,"kind":"loadpoint","spec":{...}}
 //	worker → coordinator   {"type":"result","id":7,"value":{...}}
 //	worker → coordinator   {"type":"error","id":7,"error":"..."}   (cell failed)
 //	coordinator → worker   {"type":"shutdown"}
+//
+// Version 2 adds credit-based pipelining: the hello's credits field
+// advertises how many cells the worker is willing to hold in flight at
+// once, and the coordinator may stream up to that many unanswered cell
+// messages before seeing a result. Results may come back in any order —
+// the cell ID is the correlator — and a result for an ID that is not in
+// flight (a credit overflow, a duplicate, or an invented answer) is a
+// protocol violation. A version-1 peer is still admitted and simply runs
+// at one credit, the old stop-and-wait discipline, so mixed fleets keep
+// working across the upgrade.
 //
 // Every violation of that grammar — a line that is not JSON, a line over the
 // size cap, an unknown type, a message missing its required fields — is
@@ -31,11 +41,29 @@ import (
 	"io"
 )
 
-// Version is the protocol revision spoken by this build. A coordinator
-// rejects hellos from any other version: cells are executed by "the same
-// code on another machine", and a version skew would silently break the
-// byte-identity guarantee the distributed sweep is built on.
-const Version = 1
+// Version is the protocol revision spoken by this build; MinVersion is the
+// oldest revision a coordinator still admits. The cell/result grammar is
+// unchanged since v1 — v2 only adds the hello credits field — so a v1
+// worker executes exactly the same cells as a v2 one and byte-identity is
+// preserved; it just runs at a single credit. Anything outside
+// [MinVersion, Version] is rejected: cells are executed by "the same code
+// on another machine", and an unknown future grammar could silently break
+// the byte-identity guarantee the distributed sweep is built on.
+const (
+	Version    = 2
+	MinVersion = 1
+)
+
+// DefaultCredits is the in-flight cell window a v2 worker advertises when
+// none is configured (-dist-depth). Eight cells keeps a connection busy
+// across a full protocol round trip without letting one slow worker hoard
+// a meaningful fraction of a sweep.
+const DefaultCredits = 8
+
+// MaxCredits caps what a coordinator will honor from any hello, however
+// large the advertisement — a bound on queue damage from a buggy or
+// malicious worker, not a tuning knob.
+const MaxCredits = 64
 
 // MaxLineBytes caps one framed message. Result values are JSON-encoded
 // harness result structs (hundreds of bytes); the only large payload is a
@@ -67,9 +95,13 @@ const (
 // know cell schemas — the harness owns those.
 type Msg struct {
 	Type string `json:"type"`
-	// Version and Worker identify a hello.
+	// Version and Worker identify a hello. Credits (v2+) advertises the
+	// worker's in-flight cell window; the coordinator streams at most that
+	// many unanswered cells on the connection. A v1 hello has no credits
+	// field and is treated as a window of one.
 	Version int    `json:"version,omitempty"`
 	Worker  string `json:"worker,omitempty"`
+	Credits int    `json:"credits,omitempty"`
 	// ID correlates a cell with its result or error. IDs are assigned by
 	// the coordinator, positive, and never reused — a requeued cell gets a
 	// fresh ID, so a stale answer from a torn-down worker can never be
@@ -178,6 +210,12 @@ func (m Msg) validate() error {
 	case TypeHello:
 		if m.Version == 0 {
 			return perr(ReasonIncomplete, "hello without version")
+		}
+		if m.Version >= 2 && m.Credits <= 0 {
+			return perr(ReasonIncomplete, "v%d hello without credits", m.Version)
+		}
+		if m.Credits < 0 {
+			return perr(ReasonIncomplete, "hello with negative credits %d", m.Credits)
 		}
 	case TypeCell:
 		if m.ID <= 0 {

@@ -12,7 +12,8 @@ import (
 // this is the compatibility contract between coordinator and worker builds.
 func TestRoundTrip(t *testing.T) {
 	msgs := []Msg{
-		{Type: TypeHello, Version: Version, Worker: "proc-0"},
+		{Type: TypeHello, Version: Version, Worker: "proc-0", Credits: DefaultCredits},
+		{Type: TypeHello, Version: 1, Worker: "old-proc"},
 		{Type: TypeCell, ID: 7, Kind: "loadpoint", Spec: []byte(`{"load":0.5}`)},
 		{Type: TypeResult, ID: 7, Value: []byte(`{"events":42}`)},
 		{Type: TypeError, ID: 9, Error: "cell panicked: boom"},
@@ -31,8 +32,9 @@ func TestRoundTrip(t *testing.T) {
 			t.Fatalf("Read #%d: %v", i, err)
 		}
 		if got.Type != want.Type || got.Version != want.Version || got.Worker != want.Worker ||
-			got.ID != want.ID || got.Kind != want.Kind || got.Error != want.Error ||
-			string(got.Spec) != string(want.Spec) || string(got.Value) != string(want.Value) {
+			got.Credits != want.Credits || got.ID != want.ID || got.Kind != want.Kind ||
+			got.Error != want.Error || string(got.Spec) != string(want.Spec) ||
+			string(got.Value) != string(want.Value) {
 			t.Errorf("Read #%d = %+v, want %+v", i, got, want)
 		}
 	}
@@ -60,6 +62,8 @@ func TestReadRejections(t *testing.T) {
 		{"unknown type", `{"type":"launch-missiles"}` + "\n", 0, ReasonBadType},
 		{"empty type", `{"id":3}` + "\n", 0, ReasonBadType},
 		{"hello without version", `{"type":"hello","worker":"w"}` + "\n", 0, ReasonIncomplete},
+		{"v2 hello without credits", `{"type":"hello","version":2,"worker":"w"}` + "\n", 0, ReasonIncomplete},
+		{"hello negative credits", `{"type":"hello","version":1,"worker":"w","credits":-3}` + "\n", 0, ReasonIncomplete},
 		{"cell without id", `{"type":"cell","kind":"loadpoint","spec":{}}` + "\n", 0, ReasonIncomplete},
 		{"cell negative id", `{"type":"cell","id":-1,"kind":"loadpoint","spec":{}}` + "\n", 0, ReasonIncomplete},
 		{"cell without kind", `{"type":"cell","id":1,"spec":{}}` + "\n", 0, ReasonIncomplete},
@@ -102,6 +106,55 @@ func TestOversizedDetectedMidLine(t *testing.T) {
 	var pe *ProtocolError
 	if !errors.As(err, &pe) || pe.Reason != ReasonOversized {
 		t.Fatalf("Read() err = %v, want oversized ProtocolError", err)
+	}
+}
+
+// trickleReader returns one byte per Read call — the worst-case fragmented
+// transport (a TCP stream delivering a frame across many segments).
+type trickleReader struct {
+	s string
+	i int
+}
+
+func (r *trickleReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.s) {
+		return 0, io.EOF
+	}
+	p[0] = r.s[r.i]
+	r.i++
+	return 1, nil
+}
+
+// TestReadFragmentedStream pins that framing is independent of transport
+// segmentation: a byte-at-a-time stream carrying several messages — with
+// boundaries landing mid-token, mid-string, and mid-number — reads back
+// exactly like a single contiguous write.
+func TestReadFragmentedStream(t *testing.T) {
+	msgs := []Msg{
+		{Type: TypeHello, Version: Version, Worker: "frag", Credits: 8},
+		{Type: TypeCell, ID: 1, Kind: "loadpoint", Spec: []byte(`{"load":0.125,"pattern":"uniform"}`)},
+		{Type: TypeResult, ID: 1, Value: []byte(`{"mean_latency_ns":1234.5}`)},
+		{Type: TypeShutdown},
+	}
+	var b strings.Builder
+	for _, m := range msgs {
+		if err := Write(&b, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&trickleReader{s: b.String()})
+	for i, want := range msgs {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("Read #%d: %v", i, err)
+		}
+		if got.Type != want.Type || got.ID != want.ID || got.Credits != want.Credits ||
+			string(got.Spec) != string(want.Spec) || string(got.Value) != string(want.Value) {
+			t.Errorf("Read #%d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("after all messages: err = %v, want io.EOF", err)
 	}
 }
 

@@ -50,10 +50,24 @@ type Cache struct {
 	mu       sync.Mutex
 	inflight map[Key]*flight
 
+	// The hot tier: a byte-capped in-memory map of published entry bytes in
+	// front of the directory. Every byte in it came from (or went through)
+	// the same atomic-publish path as the file it shadows, so serving from
+	// memory is byte-for-byte the disk read it saves. FIFO eviction —
+	// entries are immutable and equally small, so recency tracking would
+	// buy little over insertion order.
+	hotMu    sync.Mutex
+	hot      map[Key][]byte
+	hotFIFO  []Key
+	hotBytes int
+	hotCap   int
+
 	hits         atomic.Uint64
 	misses       atomic.Uint64
+	memHits      atomic.Uint64
 	remoteHits   atomic.Uint64
 	remoteErrors atomic.Uint64
+	prefetched   atomic.Uint64
 	bytesRead    atomic.Uint64
 	bytesWritten atomic.Uint64
 	writeErrors  atomic.Uint64
@@ -70,12 +84,95 @@ type flight struct {
 	panicVal any
 }
 
+// DefaultHotBytes is the hot tier's default byte budget. Entries are
+// small JSON result structs (hundreds of bytes to a few KB), so 64 MiB
+// holds every entry of any realistic sweep; the cap exists to bound a
+// pathological cache, not to force eviction in normal use.
+const DefaultHotBytes = 64 << 20
+
 // Open returns a cache rooted at dir, creating the directory if needed.
 func Open(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &Cache{dir: dir, inflight: map[Key]*flight{}}, nil
+	return &Cache{
+		dir:      dir,
+		inflight: map[Key]*flight{},
+		hot:      map[Key][]byte{},
+		hotCap:   DefaultHotBytes,
+	}, nil
+}
+
+// SetHotBytes resizes the hot tier's byte budget (0 disables it), evicting
+// oldest-first if the new cap is already exceeded. A nil *Cache ignores
+// the call.
+func (c *Cache) SetHotBytes(n int) {
+	if c == nil {
+		return
+	}
+	c.hotMu.Lock()
+	defer c.hotMu.Unlock()
+	c.hotCap = n
+	c.hotEvictLocked(0)
+}
+
+// hotGet returns the in-memory bytes for key, if resident. The returned
+// slice is shared and must not be mutated — entries are immutable by
+// construction (content-addressed, published once).
+func (c *Cache) hotGet(key Key) ([]byte, bool) {
+	c.hotMu.Lock()
+	defer c.hotMu.Unlock()
+	data, ok := c.hot[key]
+	return data, ok
+}
+
+// hotPut admits entry bytes to the hot tier, evicting oldest-first to make
+// room. An entry larger than the whole budget is skipped; re-admitting a
+// resident key is a no-op (same key, same bytes — content addressing).
+func (c *Cache) hotPut(key Key, data []byte) {
+	c.hotMu.Lock()
+	defer c.hotMu.Unlock()
+	if c.hotCap <= 0 || len(data) > c.hotCap {
+		return
+	}
+	if _, ok := c.hot[key]; ok {
+		return
+	}
+	c.hotEvictLocked(len(data))
+	c.hot[key] = data
+	c.hotFIFO = append(c.hotFIFO, key)
+	c.hotBytes += len(data)
+}
+
+// hotEvictLocked drops oldest entries until need more bytes fit under the
+// cap. Caller holds hotMu.
+func (c *Cache) hotEvictLocked(need int) {
+	for c.hotBytes+need > c.hotCap && len(c.hotFIFO) > 0 {
+		k := c.hotFIFO[0]
+		c.hotFIFO = c.hotFIFO[1:]
+		c.hotBytes -= len(c.hot[k])
+		delete(c.hot, k)
+	}
+}
+
+// hotDrop removes one entry (used when a resident entry fails to decode —
+// impossible unless memory was corrupted, but the disk path self-heals and
+// the hot tier must not heal worse).
+func (c *Cache) hotDrop(key Key) {
+	c.hotMu.Lock()
+	defer c.hotMu.Unlock()
+	data, ok := c.hot[key]
+	if !ok {
+		return
+	}
+	delete(c.hot, key)
+	c.hotBytes -= len(data)
+	for i, k := range c.hotFIFO {
+		if k == key {
+			c.hotFIFO = append(c.hotFIFO[:i], c.hotFIFO[i+1:]...)
+			break
+		}
+	}
 }
 
 // DefaultDir is the conventional per-user cache location
@@ -108,8 +205,14 @@ func (c *Cache) Summary() string {
 	s := c.Stats()
 	line := fmt.Sprintf("result cache %s: %d hits, %d misses, %.1f MB read, %.1f MB written",
 		c.dir, s.Hits, s.Misses, float64(s.BytesRead)/1e6, float64(s.BytesWritten)/1e6)
+	if s.MemHits > 0 {
+		line += fmt.Sprintf(", %d mem hits", s.MemHits)
+	}
 	if s.RemoteHits > 0 || s.RemoteErrors > 0 {
 		line += fmt.Sprintf(", %d remote hits", s.RemoteHits)
+	}
+	if s.Prefetched > 0 {
+		line += fmt.Sprintf(", %d prefetched", s.Prefetched)
 	}
 	if s.RemoteErrors > 0 {
 		line += fmt.Sprintf(", %d remote errors", s.RemoteErrors)
@@ -131,11 +234,19 @@ func (c *Cache) Dir() string {
 // Stats is a point-in-time snapshot of cache traffic.
 type Stats struct {
 	Hits, Misses uint64
+	// MemHits counts the subset of Hits served from the in-memory hot tier
+	// without touching the directory. Hits − MemHits − RemoteHits is the
+	// disk hit count.
+	MemHits uint64
 	// RemoteHits counts the subset of Hits that were served by the remote
 	// tier (a local miss answered by the rendezvous store, then written
 	// through locally). Hits − RemoteHits is the local hit count, and
 	// Hits + Misses still equals total lookups.
 	RemoteHits uint64
+	// Prefetched counts entries pulled from the remote tier in batch ahead
+	// of lookup (Prefetch) — not hits themselves, but the reason a later
+	// lookup is a MemHit instead of a remote round trip.
+	Prefetched uint64
 	// RemoteErrors counts remote operations (Get or Put) that failed; each
 	// degraded to the local-only path without losing the result.
 	RemoteErrors uint64
@@ -155,8 +266,10 @@ func (c *Cache) Stats() Stats {
 	return Stats{
 		Hits:         c.hits.Load(),
 		Misses:       c.misses.Load(),
+		MemHits:      c.memHits.Load(),
 		RemoteHits:   c.remoteHits.Load(),
 		RemoteErrors: c.remoteErrors.Load(),
+		Prefetched:   c.prefetched.Load(),
 		BytesRead:    c.bytesRead.Load(),
 		BytesWritten: c.bytesWritten.Load(),
 		WriteErrors:  c.writeErrors.Load(),
@@ -252,10 +365,20 @@ func (c *Cache) path(key Key) string {
 	return filepath.Join(c.dir, key.Hex()+".json")
 }
 
-// load reads and decodes one entry. Any failure — missing, truncated, or
-// corrupt — reports false; undecodable files are deleted so the slot heals
-// on the next store instead of failing forever.
+// load reads and decodes one entry, hot tier first. Any failure — missing,
+// truncated, or corrupt — reports false; undecodable files are deleted so
+// the slot heals on the next store instead of failing forever. A hot-tier
+// serve counts as a MemHit and skips the disk read entirely (and so does
+// not count toward BytesRead, which measures bytes actually read from
+// storage); a disk serve admits the entry to the hot tier on the way out.
 func (c *Cache) load(key Key, out any) bool {
+	if data, ok := c.hotGet(key); ok {
+		if err := json.Unmarshal(data, out); err == nil {
+			c.memHits.Add(1)
+			return true
+		}
+		c.hotDrop(key)
+	}
 	p := c.path(key)
 	data, err := os.ReadFile(p)
 	if err != nil {
@@ -266,6 +389,7 @@ func (c *Cache) load(key Key, out any) bool {
 		return false
 	}
 	c.bytesRead.Add(uint64(len(data)))
+	c.hotPut(key, data)
 	return true
 }
 
@@ -341,16 +465,21 @@ func (c *Cache) storeBytes(key Key, data []byte) bool {
 		return false
 	}
 	c.bytesWritten.Add(uint64(len(data)))
+	c.hotPut(key, data)
 	return true
 }
 
-// EntryBytes returns the raw bytes of one published entry from the local
-// directory — the daemon's GET path. Corrupt entries are deleted and
-// reported as absent, exactly like load, so a torn or damaged file can
-// never be served to a remote reader.
+// EntryBytes returns the raw bytes of one published entry, hot tier first
+// — the daemon's GET path. Corrupt disk entries are deleted and reported
+// as absent, exactly like load, so a torn or damaged file can never be
+// served to a remote reader; hot-tier bytes were valid JSON at admission
+// and are immutable after.
 func (c *Cache) EntryBytes(key Key) ([]byte, bool) {
 	if c == nil {
 		return nil, false
+	}
+	if data, ok := c.hotGet(key); ok {
+		return data, true
 	}
 	p := c.path(key)
 	data, err := os.ReadFile(p)
@@ -361,7 +490,59 @@ func (c *Cache) EntryBytes(key Key) ([]byte, bool) {
 		os.Remove(p)
 		return nil, false
 	}
+	c.hotPut(key, data)
 	return data, true
+}
+
+// Prefetch pulls a wave of entries from the remote tier in one batch
+// round trip, ahead of the individual lookups that will want them. Keys
+// already resident (hot tier or directory) are skipped; fetched entries
+// are published through the normal atomic path, so they land identically
+// to a write-through from loadRemote, and every later lookup for them is
+// a local hit instead of a remote round trip. Requires a BatchRemote; on
+// anything else — including a nil cache or no remote at all — Prefetch is
+// a no-op, so callers fire it unconditionally before a fan-out.
+func (c *Cache) Prefetch(keys []Key) {
+	if c == nil || c.remote == nil || len(keys) == 0 {
+		return
+	}
+	br, ok := c.remote.(BatchRemote)
+	if !ok {
+		return
+	}
+	seen := make(map[Key]bool, len(keys))
+	need := make([]Key, 0, len(keys))
+	for _, k := range keys {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if _, ok := c.hotGet(k); ok {
+			continue
+		}
+		if _, err := os.Stat(c.path(k)); err == nil {
+			continue
+		}
+		need = append(need, k)
+	}
+	if len(need) == 0 {
+		return
+	}
+	entries, err := br.GetBatch(need)
+	if err != nil {
+		c.remoteErrors.Add(1)
+		return
+	}
+	for k, data := range entries {
+		if !json.Valid(data) {
+			c.remoteErrors.Add(1)
+			continue
+		}
+		if c.storeBytes(k, data) {
+			c.prefetched.Add(1)
+			c.bytesRead.Add(uint64(len(data)))
+		}
+	}
 }
 
 // PublishEntry atomically publishes externally supplied entry bytes — the

@@ -44,8 +44,29 @@ func TestDoComputesOnceThenHits(t *testing.T) {
 	if st.Misses != 1 || st.Hits != 1 {
 		t.Fatalf("stats = %+v, want 1 miss + 1 hit", st)
 	}
-	if st.BytesWritten == 0 || st.BytesRead == 0 || st.WriteErrors != 0 {
+	// The store published through the hot tier, so the hit is served from
+	// memory: a MemHit, with no disk bytes read.
+	if st.MemHits != 1 || st.BytesRead != 0 {
+		t.Fatalf("hit not served from the hot tier: %+v", st)
+	}
+	if st.BytesWritten == 0 || st.WriteErrors != 0 {
 		t.Fatalf("byte accounting off: %+v", st)
+	}
+	// A fresh handle on the same directory starts with a cold hot tier, so
+	// its hit pays the disk read — and counts the bytes.
+	c2, err := Open(c.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Do(c2, testKey(1), compute); got != first {
+		t.Fatalf("disk-path value %+v != hot-path value %+v", got, first)
+	}
+	if computes != 1 {
+		t.Fatalf("computed %d times, want 1 (fresh handle must hit disk)", computes)
+	}
+	st2 := c2.Stats()
+	if st2.Hits != 1 || st2.MemHits != 0 || st2.BytesRead == 0 {
+		t.Fatalf("fresh handle did not hit disk: %+v", st2)
 	}
 }
 

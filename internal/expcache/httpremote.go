@@ -2,6 +2,7 @@ package expcache
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -64,6 +65,74 @@ func (h *HTTPRemote) Get(key Key) ([]byte, bool, error) {
 	default:
 		return nil, false, fmt.Errorf("expcache: remote GET %s: %s", key.Hex(), resp.Status)
 	}
+}
+
+// maxBatchKeys bounds one batch request's key list; larger prefetch waves
+// are split across requests. 256 hex keys is ~16 KB of query string — well
+// under any practical URL limit while still collapsing a whole study wave
+// into a handful of round trips.
+const maxBatchKeys = 256
+
+// GetBatch implements BatchRemote over one GET /v1/cache/entries?keys=...
+// per maxBatchKeys chunk. The daemon answers with whichever entries it
+// has; a 404 on the collection route means the daemon predates the batch
+// API, reported as a clean empty answer so the caller falls back to
+// per-key Gets without noise.
+func (h *HTTPRemote) GetBatch(keys []Key) (map[Key][]byte, error) {
+	out := make(map[Key][]byte, len(keys))
+	for len(keys) > 0 {
+		chunk := keys
+		if len(chunk) > maxBatchKeys {
+			chunk = chunk[:maxBatchKeys]
+		}
+		keys = keys[len(chunk):]
+		if err := h.getBatchChunk(chunk, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (h *HTTPRemote) getBatchChunk(chunk []Key, out map[Key][]byte) error {
+	hexes := make([]string, len(chunk))
+	for i, k := range chunk {
+		hexes[i] = k.Hex()
+	}
+	resp, err := h.client.Get(h.base + "/v1/cache/entries?keys=" + strings.Join(hexes, ","))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		// An old daemon without the collection route; nothing served.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck // draining for keep-alive
+		return nil
+	default:
+		return fmt.Errorf("expcache: remote batch GET: %s", resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, int64(len(chunk))*maxRemoteEntry+1))
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Entries map[string]json.RawMessage `json:"entries"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return fmt.Errorf("expcache: remote batch GET: decoding answer: %w", err)
+	}
+	for hex, data := range doc.Entries {
+		key, err := ParseKey(hex)
+		if err != nil {
+			return fmt.Errorf("expcache: remote batch GET: bad key in answer: %w", err)
+		}
+		if len(data) > maxRemoteEntry {
+			return fmt.Errorf("expcache: remote entry %s exceeds %d bytes", hex, maxRemoteEntry)
+		}
+		out[key] = []byte(data)
+	}
+	return nil
 }
 
 // Put implements Remote: PUT the entry bytes; any non-2xx answer is an

@@ -22,6 +22,18 @@ type Remote interface {
 	Put(key Key, data []byte) error
 }
 
+// BatchRemote is a Remote that can answer many keys in one round trip —
+// the transport behind Cache.Prefetch. GetBatch returns whichever of the
+// requested entries the remote has (absent keys are simply missing from
+// the map — a partial answer is not an error); an error means the batch
+// as a whole could not be served. A remote that does not implement
+// BatchRemote still works everywhere else: Prefetch just becomes a no-op
+// and every miss pays its own round trip through Get.
+type BatchRemote interface {
+	Remote
+	GetBatch(keys []Key) (map[Key][]byte, error)
+}
+
 // SetRemote attaches (or, with nil, detaches) the remote tier. Call before
 // the cache is shared across goroutines — typically right after Open,
 // during flag wiring. A nil *Cache ignores the call.

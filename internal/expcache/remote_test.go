@@ -2,6 +2,7 @@ package expcache
 
 import (
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -44,6 +45,131 @@ func (f *fakeRemote) Put(key Key, data []byte) error {
 	}
 	f.entries[key] = append([]byte(nil), data...)
 	return nil
+}
+
+// fakeBatchRemote is fakeRemote plus the batch interface, with call and
+// key accounting so tests can pin how many round trips a prefetch costs.
+type fakeBatchRemote struct {
+	*fakeRemote
+	batchCalls int
+	batchKeys  int
+	batchErr   error
+}
+
+func (f *fakeBatchRemote) GetBatch(keys []Key) (map[Key][]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.batchCalls++
+	f.batchKeys += len(keys)
+	if f.batchErr != nil {
+		return nil, f.batchErr
+	}
+	out := map[Key][]byte{}
+	for _, k := range keys {
+		if data, ok := f.entries[k]; ok {
+			out[k] = append([]byte(nil), data...)
+		}
+	}
+	return out, nil
+}
+
+// TestPrefetchBatch pins the hot-tier prefetch path: one batch round trip
+// pulls every absent key, skips resident and duplicate keys, rejects
+// garbage without aborting the wave, and leaves later lookups as pure
+// local hits — zero per-key remote gets.
+func TestPrefetchBatch(t *testing.T) {
+	remote := &fakeBatchRemote{fakeRemote: newFakeRemote()}
+	seed, _ := Open(t.TempDir())
+	seed.SetRemote(remote)
+	want := map[int64]point{}
+	for n := int64(0); n < 3; n++ {
+		want[n] = Do(seed, testKey(50+n), func() point { return point{Load: float64(n), Mean: n} })
+	}
+	remote.entries[testKey(58)] = []byte("not json") // poisoned remote entry
+
+	c, _ := Open(t.TempDir())
+	c.SetRemote(remote)
+	local := Do(c, testKey(59), func() point { return point{Mean: 59} }) // already local
+
+	keys := []Key{
+		testKey(50), testKey(51), testKey(52),
+		testKey(51), // duplicate: must not fetch twice
+		testKey(58), // garbage upstream: counted, not served
+		testKey(57), // absent everywhere: silently missing
+		testKey(59), // local already: must not refetch
+	}
+	c.Prefetch(keys)
+
+	st := c.Stats()
+	if st.Prefetched != 3 {
+		t.Fatalf("Prefetched = %d, want 3: %+v", st.Prefetched, st)
+	}
+	if st.RemoteErrors != 1 {
+		t.Fatalf("RemoteErrors = %d, want 1 (the poisoned entry): %+v", st.RemoteErrors, st)
+	}
+	if remote.batchCalls != 1 || remote.batchKeys != 5 {
+		t.Fatalf("batch traffic = %d calls / %d keys, want 1 call / 5 keys (50,51,52,57,58)",
+			remote.batchCalls, remote.batchKeys)
+	}
+
+	gets := remote.gets
+	for n := int64(0); n < 3; n++ {
+		got := Do(c, testKey(50+n), func() point {
+			t.Fatalf("recomputed prefetched entry %d", n)
+			return point{}
+		})
+		if got != want[n] {
+			t.Fatalf("prefetched entry %d = %+v, want %+v", n, got, want[n])
+		}
+	}
+	if remote.gets != gets {
+		t.Fatalf("lookups after prefetch reached the remote (%d gets, had %d)", remote.gets, gets)
+	}
+	if again := Do(c, testKey(59), func() point { t.Fatal("recomputed local entry"); return point{} }); again != local {
+		t.Fatalf("local entry changed after prefetch: %+v", again)
+	}
+	st = c.Stats()
+	if st.MemHits < 3 {
+		t.Fatalf("prefetched entries should serve from the hot tier: %+v", st)
+	}
+}
+
+// TestPrefetchDegradesCleanly pins the no-op edges: nil cache, no remote,
+// a remote without batch support, an empty key list, and a failing batch
+// call — none may panic, fetch per-key, or lose later lookups.
+func TestPrefetchDegradesCleanly(t *testing.T) {
+	var nilCache *Cache
+	nilCache.Prefetch([]Key{testKey(60)})
+
+	c, _ := Open(t.TempDir())
+	c.Prefetch([]Key{testKey(60)}) // no remote
+
+	plain := newFakeRemote()
+	plain.entries[testKey(60)] = []byte(`{"Load":1,"Mean":6}`)
+	c.SetRemote(plain)
+	c.Prefetch([]Key{testKey(60)}) // remote lacks GetBatch
+	if plain.gets != 0 {
+		t.Fatalf("non-batch remote was queried per-key by Prefetch: %d gets", plain.gets)
+	}
+	if st := c.Stats(); st.Prefetched != 0 {
+		t.Fatalf("non-batch prefetch claimed entries: %+v", st)
+	}
+
+	failing := &fakeBatchRemote{fakeRemote: newFakeRemote(), batchErr: errors.New("tier down")}
+	failing.entries[testKey(61)] = []byte(`{"Load":1,"Mean":7}`)
+	c2, _ := Open(t.TempDir())
+	c2.SetRemote(failing)
+	c2.Prefetch(nil)
+	c2.Prefetch([]Key{testKey(61)})
+	st := c2.Stats()
+	if st.RemoteErrors != 1 || st.Prefetched != 0 {
+		t.Fatalf("failed batch should count one remote error and no prefetches: %+v", st)
+	}
+	// The failed prefetch is advisory: the per-key remote path still works.
+	got := Do(c2, testKey(61), func() point { t.Fatal("recomputed despite remote entry"); return point{} })
+	if got.Mean != 7 {
+		t.Fatalf("per-key fallback after failed prefetch = %+v", got)
+	}
 }
 
 // TestRemoteHitWritesThrough pins the rendezvous read path: a local miss
@@ -188,12 +314,21 @@ func TestEntryBytesAndPublishEntry(t *testing.T) {
 		t.Fatal("nil cache accepted a publish")
 	}
 
-	// Corrupt the published file behind the cache's back; EntryBytes must
-	// refuse to serve it and delete it so the slot heals.
+	// Corrupt the published file behind the cache's back. The warm handle
+	// still holds the good published bytes in its hot tier and keeps
+	// serving them; a fresh handle sees only the torn file, refuses to
+	// serve it, and deletes it so the slot heals.
 	if err := os.WriteFile(c.path(key), []byte(`{"Load":`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.EntryBytes(key); ok {
+	if got, ok := c.EntryBytes(key); !ok || string(got) != string(entry) {
+		t.Fatalf("warm handle EntryBytes = %q, %v; want the hot-tier bytes", got, ok)
+	}
+	cold, err := Open(c.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cold.EntryBytes(key); ok {
 		t.Fatal("EntryBytes served a torn entry")
 	}
 	if _, err := os.Stat(c.path(key)); !os.IsNotExist(err) {
@@ -268,5 +403,96 @@ func TestHTTPRemoteAgainstFakeDaemon(t *testing.T) {
 	// A non-2xx answer is an error, not a miss.
 	if _, ok, err := h.Get(errKey); err == nil || ok {
 		t.Fatalf("500 answer Get = %v, %v; want an error", ok, err)
+	}
+}
+
+// TestHTTPRemoteGetBatch pins the batch wire client against a minimal
+// collection-route server: present keys come back byte-for-byte, absent
+// keys are omitted, and a wave beyond maxBatchKeys splits into exactly
+// ceil(n/maxBatchKeys) requests.
+func TestHTTPRemoteGetBatch(t *testing.T) {
+	var mu sync.Mutex
+	store := map[string][]byte{}
+	var requests []int // keys-per-request, in arrival order
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/cache/entries" {
+			http.NotFound(w, r)
+			return
+		}
+		keys := strings.Split(r.URL.Query().Get("keys"), ",")
+		mu.Lock()
+		requests = append(requests, len(keys))
+		w.Write([]byte(`{"entries":{`)) //nolint:errcheck
+		first := true
+		for _, hex := range keys {
+			data, ok := store[hex]
+			if !ok {
+				continue
+			}
+			if !first {
+				w.Write([]byte(",")) //nolint:errcheck
+			}
+			first = false
+			fmt.Fprintf(w, "%q:%s", hex, data)
+		}
+		mu.Unlock()
+		w.Write([]byte(`}}`)) //nolint:errcheck
+	}))
+	defer srv.Close()
+
+	const n = maxBatchKeys + 44 // forces a second chunk
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = testKey(int64(2000 + i))
+		if i%2 == 0 { // half the keys exist upstream
+			store[keys[i].Hex()] = []byte(fmt.Sprintf(`{"Load":0,"Mean":%d}`, i))
+		}
+	}
+
+	h := NewHTTPRemote(srv.URL)
+	got, err := h.GetBatch(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(requests) != 2 || requests[0] != maxBatchKeys || requests[1] != n-maxBatchKeys {
+		t.Fatalf("chunking = %v, want [%d %d]", requests, maxBatchKeys, n-maxBatchKeys)
+	}
+	if len(got) != n/2 {
+		t.Fatalf("GetBatch returned %d entries, want %d", len(got), n/2)
+	}
+	for i, k := range keys {
+		data, ok := got[k]
+		if i%2 == 0 {
+			if want := store[k.Hex()]; !ok || string(data) != string(want) {
+				t.Fatalf("key %d = %q, %v; want %q", i, data, ok, want)
+			}
+		} else if ok {
+			t.Fatalf("absent key %d served: %q", i, data)
+		}
+	}
+}
+
+// TestHTTPRemoteGetBatchOldDaemon pins the downgrade path: a daemon without
+// the collection route 404s, which is a clean empty answer — never an
+// error — so mixed-version fleets keep working on per-key Gets.
+func TestHTTPRemoteGetBatchOldDaemon(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(http.NotFound))
+	defer srv.Close()
+	h := NewHTTPRemote(srv.URL)
+	got, err := h.GetBatch([]Key{testKey(70), testKey(71)})
+	if err != nil {
+		t.Fatalf("404 collection route = %v, want a clean empty answer", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("old daemon served %d entries", len(got))
+	}
+
+	// A genuinely failing daemon is still an error.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "internal", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	if _, err := NewHTTPRemote(bad.URL).GetBatch([]Key{testKey(70)}); err == nil {
+		t.Fatal("500 collection route did not error")
 	}
 }

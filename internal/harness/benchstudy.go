@@ -4,6 +4,7 @@ import (
 	"macrochip/internal/coherence"
 	"macrochip/internal/core"
 	"macrochip/internal/cpu"
+	"macrochip/internal/expcache"
 	"macrochip/internal/memory"
 	"macrochip/internal/networks"
 	"macrochip/internal/power"
@@ -100,6 +101,13 @@ func RunStudyWith(r Runner, benches []cpu.Benchmark, kinds []networks.Kind, p co
 		for _, k := range kinds {
 			jobs = append(jobs, cell{b, k})
 		}
+	}
+	if r.Cache != nil {
+		keys := make([]expcache.Key, len(jobs))
+		for i, j := range jobs {
+			keys[i] = benchCellKey(j.b, j.k, p, CellSeed(seed, j.b.Name, j.k))
+		}
+		r.Cache.Prefetch(keys)
 	}
 	results := runIndexed(r, len(jobs), func(i int) BenchResult {
 		j := jobs[i]

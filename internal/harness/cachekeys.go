@@ -45,12 +45,12 @@ func loadPointKey(cfg LoadPointConfig) expcache.Key {
 // or trace spans, so serving one would silently disable observability.
 func cachedLoadPoint(r Runner, cfg LoadPointConfig) LoadPoint {
 	compute := func() LoadPoint {
-		if !cfg.Obs.Enabled() {
-			if pt, ok := distCell[LoadPoint](r.Dist, CellLoadPoint, specForLoadPoint(cfg)); ok {
-				return pt
-			}
+		if cfg.Obs.Enabled() {
+			return RunLoadPoint(cfg)
 		}
-		return RunLoadPoint(cfg)
+		return distCell(r.Dist, CellLoadPoint, specForLoadPoint(cfg), func() LoadPoint {
+			return RunLoadPoint(cfg)
+		})
 	}
 	if r.Cache == nil || cfg.Obs.Enabled() {
 		return compute()
@@ -82,10 +82,9 @@ func benchCellKey(b cpu.Benchmark, kind networks.Kind, p core.Params, seed int64
 // keeps its exported counters but not its unexported accumulators.
 func cachedBenchCell(r Runner, b cpu.Benchmark, kind networks.Kind, p core.Params, seed int64) BenchResult {
 	compute := func() BenchResult {
-		if res, ok := distCell[BenchResult](r.Dist, CellBenchCell, specForBenchCell(b, kind, p, seed)); ok {
-			return res
-		}
-		return RunBenchmark(b, kind, p, seed)
+		return distCell(r.Dist, CellBenchCell, specForBenchCell(b, kind, p, seed), func() BenchResult {
+			return RunBenchmark(b, kind, p, seed)
+		})
 	}
 	if r.Cache == nil {
 		return compute()
@@ -140,10 +139,9 @@ func resiliencePointKey(cfg ResilienceConfig, k networks.Kind, c fault.Class, ra
 // cachedResiliencePoint is RunResiliencePoint behind the cache and fleet.
 func cachedResiliencePoint(r Runner, cfg ResilienceConfig, k networks.Kind, c fault.Class, rate float64) ResiliencePoint {
 	compute := func() ResiliencePoint {
-		if pt, ok := distCell[ResiliencePoint](r.Dist, CellResilience, specForResilience(cfg, k, c, rate)); ok {
-			return pt
-		}
-		return RunResiliencePoint(cfg, k, c, rate)
+		return distCell(r.Dist, CellResilience, specForResilience(cfg, k, c, rate), func() ResiliencePoint {
+			return RunResiliencePoint(cfg, k, c, rate)
+		})
 	}
 	if r.Cache == nil {
 		return compute()
@@ -182,14 +180,13 @@ func inferencePointKey(cfg InferenceConfig, k networks.Kind, graph string, batch
 // error here is a bug, not bad input.
 func cachedInferencePoint(r Runner, cfg InferenceConfig, k networks.Kind, graph string, batch, seq int) InferencePoint {
 	run := func() InferencePoint {
-		if pt, ok := distCell[InferencePoint](r.Dist, CellInference, specForInference(cfg, k, graph, batch, seq)); ok {
+		return distCell(r.Dist, CellInference, specForInference(cfg, k, graph, batch, seq), func() InferencePoint {
+			pt, err := RunInferencePoint(cfg, k, graph, batch, seq)
+			if err != nil {
+				panic(fmt.Sprintf("harness: inference point (%s, %s, %d, %d) failed after validation: %v", k, graph, batch, seq, err))
+			}
 			return pt
-		}
-		pt, err := RunInferencePoint(cfg, k, graph, batch, seq)
-		if err != nil {
-			panic(fmt.Sprintf("harness: inference point (%s, %s, %d, %d) failed after validation: %v", k, graph, batch, seq, err))
-		}
-		return pt
+		})
 	}
 	if r.Cache == nil {
 		return run()

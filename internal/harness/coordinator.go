@@ -25,14 +25,27 @@ import (
 // in-process only when no worker can take it. Because a cell is the same
 // pure (config, derived seed) unit the cache addresses, and every result
 // struct round-trips canonically through JSON, sweeps are byte-identical
-// to serial at any worker count, any interleaving, and any failure
-// pattern.
+// to serial at any worker count, any pipeline depth, any interleaving,
+// and any failure pattern.
+//
+// Dispatch is pipelined (protocol v2): each connection holds a window of
+// up to its hello-advertised credit count of unanswered cells, results
+// are matched back to their jobs by cell ID in whatever order they
+// arrive, and a v1 peer simply runs at a window of one. Cells wait in a
+// coordinator-owned pending queue; connections take from the head, and —
+// when LocalSlots phantom workers are configured — local cores steal from
+// the tail, so a slow or dying remote fleet never idles the machine the
+// sweep runs on.
 //
 // Failure policy, from least to most trusted signal:
-//   - A protocol violation, transport error, stale/duplicate reply, or
-//     per-cell deadline tears the connection down and the cell is
-//     reassigned (with seeded backoff) up to Retries times, then falls
-//     back to local compute. Cells are never lost.
+//   - A protocol violation, transport error, reply for an unknown cell ID
+//     (credit overflow or stale answer), or per-cell deadline tears the
+//     connection down; every cell in its window is reassigned (with
+//     seeded backoff) up to Retries times each, then falls back to local
+//     compute. Cells are never lost, and a cell can never run twice: a
+//     job re-enters the queue only from the torn-down window that owned
+//     it, and the enqueue guard refuses a job that is already pending or
+//     in flight elsewhere.
 //   - A worker-reported cell error is permanent — retrying the same pure
 //     function elsewhere cannot help — so the cell falls back to local
 //     compute, where the failure reproduces under the caller's own error
@@ -43,28 +56,33 @@ import (
 type Coordinator struct {
 	cfg CoordinatorConfig
 
-	// jobs hands cells directly from Exec callers to connection servers;
-	// it is unbuffered so no cell can be stranded inside the channel when
-	// the coordinator drains — a sender still holds every undelivered job
-	// and resolves it to local compute via the quit branch.
-	jobs chan *distJob
+	// doorbell wakes one consumer (a connection with window room, or a
+	// phantom local slot) when pending may be non-empty; every pop that
+	// leaves work behind rings it again, so a single buffered slot cannot
+	// lose a wakeup.
+	doorbell chan struct{}
 	// quit is closed when draining begins.
 	quit chan struct{}
 
-	mu        sync.Mutex
-	nextID    int64
-	draining  bool
-	live      int // attached connections (pre- and post-hello)
-	ready     int // connections past the hello handshake
-	capacity  int // live slots: respawnable proc slots + remote conns
-	everAlive bool
-	rng       *rand.Rand
-	workers   map[string]*workerStat
+	mu sync.Mutex
+	// pending is the cell queue: connections pop from the head (index 0),
+	// phantom local slots steal from the tail, and requeued cells re-enter
+	// at the head so retries are not starved behind fresh work.
+	pending    []*distJob
+	nextID     int64
+	draining   bool
+	live       int // attached connections (pre- and post-hello)
+	ready      int // connections past the hello handshake
+	totalDepth int // sum of negotiated windows over ready connections
+	capacity   int // live slots: respawnable proc slots + remote conns
+	everAlive  bool
+	rng        *rand.Rand
+	workers    map[string]*workerStat
 
 	drainOnce sync.Once
 	execs     sync.WaitGroup // outstanding Exec calls
 	conns     sync.WaitGroup // serve goroutines
-	procs     sync.WaitGroup // process monitors and the accept loop
+	procs     sync.WaitGroup // process monitors, accept loop, phantom slots
 
 	ln net.Listener
 
@@ -77,6 +95,9 @@ type Coordinator struct {
 	failed     atomic.Uint64
 	fallbacks  atomic.Uint64
 	badValues  atomic.Uint64
+	stolen     atomic.Uint64
+	outOfOrder atomic.Uint64
+	deduped    atomic.Uint64
 }
 
 // CoordinatorConfig assembles a Coordinator; zero fields take the
@@ -87,14 +108,23 @@ type CoordinatorConfig struct {
 	// Exec is the worker binary (default "macrosim", resolved via PATH).
 	Exec string
 	// Args are extra arguments passed to every spawned worker after
-	// -worker (cache flags, typically).
+	// -worker (cache and depth flags, typically).
 	Args []string
 	// Addr, when non-empty, listens for remote `macrosim -connect`
 	// workers on this TCP address.
 	Addr string
+	// MaxDepth caps the in-flight window granted to any connection,
+	// whatever its hello advertises (default distrib.DefaultCredits,
+	// hard-capped at distrib.MaxCredits). A v1 peer always runs at 1.
+	MaxDepth int
+	// LocalSlots is the number of phantom local workers stealing cells
+	// from the tail of the pending queue for in-process compute; 0
+	// disables stealing. Each slot holds at most one cell at a time, so
+	// steals are bounded by what the local cores can actually absorb.
+	LocalSlots int
 	// CellTimeout is the per-cell deadline: a worker that holds a cell
-	// longer is presumed hung, torn down, and the cell reassigned
-	// (default 2 minutes).
+	// longer is presumed hung, torn down, and every cell in its window
+	// reassigned (default 2 minutes).
 	CellTimeout time.Duration
 	// Retries bounds reassignments per cell before local fallback
 	// (default 3).
@@ -109,21 +139,45 @@ type CoordinatorConfig struct {
 	Log io.Writer
 }
 
-// workerStat is one worker's throughput accounting. Written only by the
-// worker's serve goroutine; read by Stats via atomics.
+// workerStat is one worker's throughput accounting, read by Stats via
+// atomics.
 type workerStat struct {
-	completed atomic.Uint64
-	busyNanos atomic.Int64
+	completed  atomic.Uint64
+	busyNanos  atomic.Int64
+	depth      atomic.Int64 // negotiated window (set at hello)
+	inflight   atomic.Int64 // cells currently unanswered
+	outOfOrder atomic.Uint64
 }
+
+// jobState tracks where a cell currently lives; transitions happen under
+// the coordinator mutex so a job can never be in two places at once.
+type jobState int
+
+const (
+	jobIdle     jobState = iota // with its Exec sender, not yet queued
+	jobPending                  // in the pending queue
+	jobInFlight                 // inside one connection's window
+	jobParked                   // waiting out a retry backoff
+	jobResolved                 // outcome delivered
+)
 
 // distJob is one cell in flight through the coordinator.
 type distJob struct {
 	kind     string
 	spec     json.RawMessage
 	attempts int
-	// done carries the terminal outcome exactly once; a nil value means
-	// "compute locally".
-	done chan json.RawMessage
+	state    jobState // guarded by Coordinator.mu
+	// done carries the terminal outcome exactly once.
+	done chan distOutcome
+}
+
+// distOutcome is a job's terminal resolution. value non-nil: a remote
+// result. release non-nil: a phantom local slot granted this cell to its
+// caller — compute locally, then call release to free the slot. Both nil:
+// plain local fallback (the fleet could not serve the cell).
+type distOutcome struct {
+	value   json.RawMessage
+	release func()
 }
 
 // distConn is one worker connection: a writer the serve goroutine owns, a
@@ -139,6 +193,7 @@ type distConn struct {
 	gone     chan struct{}
 	stat     *workerStat
 	helloed  bool
+	depth    int // negotiated in-flight window
 }
 
 func (cn *distConn) close() { cn.killOnce.Do(cn.kill) }
@@ -148,6 +203,15 @@ func (cn *distConn) close() { cn.killOnce.Do(cn.kill) }
 func newCoordinator(cfg CoordinatorConfig) *Coordinator {
 	if cfg.Exec == "" {
 		cfg.Exec = "macrosim"
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = distrib.DefaultCredits
+	}
+	if cfg.MaxDepth > distrib.MaxCredits {
+		cfg.MaxDepth = distrib.MaxCredits
+	}
+	if cfg.LocalSlots < 0 {
+		cfg.LocalSlots = 0
 	}
 	if cfg.CellTimeout <= 0 {
 		cfg.CellTimeout = 2 * time.Minute
@@ -163,14 +227,19 @@ func newCoordinator(cfg CoordinatorConfig) *Coordinator {
 	if cfg.Log == nil {
 		cfg.Log = io.Discard
 	}
-	return &Coordinator{
-		cfg:     cfg,
-		jobs:    make(chan *distJob),
-		quit:    make(chan struct{}),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		workers: map[string]*workerStat{},
-		pids:    map[int]bool{},
+	c := &Coordinator{
+		cfg:      cfg,
+		doorbell: make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		workers:  map[string]*workerStat{},
+		pids:     map[int]bool{},
 	}
+	for i := 0; i < cfg.LocalSlots; i++ {
+		c.procs.Add(1)
+		go c.localSlot()
+	}
+	return c
 }
 
 // NewCoordinator spawns the configured local workers and/or opens the
@@ -339,6 +408,7 @@ func (c *Coordinator) detach(cn *distConn) {
 	c.live--
 	if cn.helloed {
 		c.ready--
+		c.totalDepth -= cn.depth
 	}
 	c.mu.Unlock()
 	if cn.remote {
@@ -360,6 +430,122 @@ func (c *Coordinator) slotDown() {
 	}
 }
 
+// ring wakes one queue consumer; the buffered slot coalesces bursts.
+func (c *Coordinator) ring() {
+	select {
+	case c.doorbell <- struct{}{}:
+	default:
+	}
+}
+
+// enqueue admits a job to the pending queue (at the head for retries, the
+// tail for fresh cells). It refuses — counting the refusal — a job that is
+// already queued, in flight, or resolved: under single ownership that
+// cannot happen, and the guard is what turns any future ownership bug into
+// a counted no-op instead of a double execution. ok=false with a draining
+// coordinator means the caller must resolve the job itself.
+func (c *Coordinator) enqueue(j *distJob, atHead bool) (ok bool) {
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		return false
+	}
+	if j.state == jobPending || j.state == jobInFlight || j.state == jobResolved {
+		c.deduped.Add(1)
+		c.mu.Unlock()
+		c.logf("duplicate enqueue of a cell suppressed (state %d)", j.state)
+		return true // another owner holds it; nothing for the caller to do
+	}
+	j.state = jobPending
+	if atHead {
+		c.pending = append(c.pending, nil)
+		copy(c.pending[1:], c.pending)
+		c.pending[0] = j
+	} else {
+		c.pending = append(c.pending, j)
+	}
+	c.mu.Unlock()
+	c.ring()
+	return true
+}
+
+// popHead takes the next cell for a connection; stealTail takes the last
+// cell for a phantom local slot. Both re-ring the doorbell when work
+// remains so every waiting consumer eventually wakes.
+func (c *Coordinator) popHead() *distJob {
+	c.mu.Lock()
+	if len(c.pending) == 0 {
+		c.mu.Unlock()
+		return nil
+	}
+	j := c.pending[0]
+	c.pending = c.pending[1:]
+	j.state = jobInFlight
+	more := len(c.pending) > 0
+	c.mu.Unlock()
+	if more {
+		c.ring()
+	}
+	return j
+}
+
+func (c *Coordinator) stealTail() *distJob {
+	c.mu.Lock()
+	if len(c.pending) == 0 {
+		c.mu.Unlock()
+		return nil
+	}
+	j := c.pending[len(c.pending)-1]
+	c.pending = c.pending[:len(c.pending)-1]
+	j.state = jobInFlight
+	more := len(c.pending) > 0
+	c.mu.Unlock()
+	if more {
+		c.ring()
+	}
+	return j
+}
+
+// resolve delivers a job's terminal outcome exactly once.
+func (c *Coordinator) resolve(j *distJob, out distOutcome) {
+	c.mu.Lock()
+	if j.state == jobResolved {
+		c.mu.Unlock()
+		return
+	}
+	j.state = jobResolved
+	c.mu.Unlock()
+	j.done <- out
+}
+
+// localSlot is one phantom worker: it steals a cell from the tail of the
+// pending queue, grants it back to its caller for in-process compute, and
+// holds the slot until that compute releases it — so steals never outrun
+// the local cores, and a healthy fast fleet keeps most of the queue.
+func (c *Coordinator) localSlot() {
+	defer c.procs.Done()
+	for {
+		select {
+		case <-c.doorbell:
+		case <-c.quit:
+			return
+		}
+		j := c.stealTail()
+		if j == nil {
+			continue
+		}
+		c.stolen.Add(1)
+		released := make(chan struct{})
+		var once sync.Once
+		c.resolve(j, distOutcome{release: func() { once.Do(func() { close(released) }) }})
+		select {
+		case <-released:
+		case <-c.quit:
+			return
+		}
+	}
+}
+
 // pump frames the connection's incoming stream. The terminal error lands
 // in readErr (buffered); delivery stops when the conn is detached.
 func (cn *distConn) pump(r io.Reader) {
@@ -378,36 +564,173 @@ func (cn *distConn) pump(r io.Reader) {
 	}
 }
 
-// serve runs one connection's dispatch loop: hello handshake, then cells
-// until drain or teardown.
+// inflightCell is one dispatched, unanswered cell inside a connection's
+// window.
+type inflightCell struct {
+	j        *distJob
+	start    time.Time
+	deadline time.Time
+}
+
+// serve runs one connection's dispatch loop: hello handshake, then a
+// pipelined window of cells until drain or teardown. The window holds up
+// to the negotiated credit count of unanswered cells; results match by ID
+// in any order, and the deadline watched is always the oldest outstanding
+// cell's (dispatch order means it is also the earliest).
 func (c *Coordinator) serve(cn *distConn, r io.Reader) {
 	defer c.detach(cn)
 	go cn.pump(r)
 	if !c.awaitHello(cn) {
 		return
 	}
+
+	window := make(map[int64]*inflightCell, cn.depth)
+	order := make([]int64, 0, cn.depth) // dispatch order; order[0] is oldest
+	dropID := func(id int64) {
+		delete(window, id)
+		for i, v := range order {
+			if v == id {
+				order = append(order[:i], order[i+1:]...)
+				break
+			}
+		}
+		cn.stat.inflight.Store(int64(len(window)))
+	}
+	// teardown requeues every unanswered cell in dispatch order and ends
+	// the connection; the serve loop returns right after calling it.
+	teardown := func(reason string) {
+		for _, id := range order {
+			c.requeue(window[id].j, cn.name, reason)
+		}
+		window, order = nil, nil
+		cn.stat.inflight.Store(0)
+	}
+
+	quitC := c.quit
+	quitSeen := false
 	for {
-		var j *distJob
-		select {
-		case j = <-c.jobs:
-		case err := <-cn.readErr:
-			// The transport died while the connection was idle. Detaching
-			// now (rather than at the next dispatch) keeps Parallelism
-			// honest and lets a fully-dead fleet auto-drain promptly.
-			c.logf("worker %s: %v while idle; dropping", cn.name, err)
-			return
-		case <-c.quit:
+		// Fill the window while credits and pending cells remain.
+		for !quitSeen && len(window) < cn.depth {
+			j := c.popHead()
+			if j == nil {
+				break
+			}
+			c.mu.Lock()
+			c.nextID++
+			id := c.nextID
+			c.mu.Unlock()
+			now := time.Now()
+			fc := &inflightCell{j: j, start: now, deadline: now.Add(c.cfg.CellTimeout)}
+			if wd, ok := cn.w.(interface{ SetWriteDeadline(time.Time) error }); ok {
+				wd.SetWriteDeadline(fc.deadline) //nolint:errcheck // best-effort
+			}
+			if err := distrib.Write(cn.w, distrib.Msg{Type: distrib.TypeCell, ID: id, Kind: j.kind, Spec: j.spec}); err != nil {
+				c.requeue(j, cn.name, fmt.Sprintf("write: %v", err))
+				teardown(fmt.Sprintf("connection lost mid-write: %v", err))
+				return
+			}
+			c.dispatched.Add(1)
+			window[id] = fc
+			order = append(order, id)
+			cn.stat.inflight.Store(int64(len(window)))
+		}
+		if quitSeen && len(window) == 0 {
 			distrib.Write(cn.w, distrib.Msg{Type: distrib.TypeShutdown}) //nolint:errcheck // best-effort farewell
 			return
 		}
-		if !c.runCellOn(cn, j) {
+
+		// Wait for the next event: a reply, more work (only with window
+		// room), the oldest cell's deadline, transport death, or drain.
+		var deadlineC <-chan time.Time
+		var deadlineTimer *time.Timer
+		if len(order) > 0 {
+			oldest := window[order[0]]
+			d := time.Until(oldest.deadline)
+			if d <= 0 {
+				teardown(fmt.Sprintf("cell deadline (%v) exceeded with %d in flight", c.cfg.CellTimeout, len(order)))
+				return
+			}
+			deadlineTimer = time.NewTimer(d)
+			deadlineC = deadlineTimer.C
+		}
+		var jobsC <-chan struct{}
+		if !quitSeen && len(window) < cn.depth {
+			jobsC = c.doorbell
+		}
+		stop := func() {
+			if deadlineTimer != nil {
+				deadlineTimer.Stop()
+			}
+		}
+
+		select {
+		case m := <-cn.incoming:
+			stop()
+			switch m.Type {
+			case distrib.TypeResult, distrib.TypeError:
+				fc, ok := window[m.ID]
+				if !ok {
+					// Credit overflow, duplicate, or invented answer: the
+					// peer's accounting can no longer be trusted.
+					teardown(fmt.Sprintf("%s for unknown cell %d (%d in flight)", m.Type, m.ID, len(order)))
+					return
+				}
+				if m.ID != order[0] {
+					c.outOfOrder.Add(1)
+					cn.stat.outOfOrder.Add(1)
+				}
+				dropID(m.ID)
+				if m.Type == distrib.TypeResult {
+					c.completed.Add(1)
+					cn.stat.completed.Add(1)
+					cn.stat.busyNanos.Add(time.Since(fc.start).Nanoseconds())
+					c.resolve(fc.j, distOutcome{value: m.Value})
+				} else {
+					// Permanent: the cell itself failed. Rerunning the same
+					// pure function on another worker cannot change the
+					// outcome, so resolve to local compute and let the
+					// caller's own error path surface it.
+					c.failed.Add(1)
+					c.logf("worker %s: cell %d failed remotely: %s; computing locally", cn.name, m.ID, m.Error)
+					c.resolve(fc.j, distOutcome{})
+				}
+			default:
+				stop()
+				teardown(fmt.Sprintf("unexpected %q message", m.Type))
+				return
+			}
+		case err := <-cn.readErr:
+			stop()
+			if len(window) == 0 {
+				// The transport died while the connection was idle.
+				// Detaching now (rather than at the next dispatch) keeps
+				// Parallelism honest and lets a fully-dead fleet
+				// auto-drain promptly.
+				c.logf("worker %s: %v while idle; dropping", cn.name, err)
+				return
+			}
+			teardown(err.Error())
 			return
+		case <-deadlineC:
+			// Re-check against the clock: the timer may have raced a
+			// reply that already cleared the oldest cell this iteration.
+			if len(order) > 0 && !time.Now().Before(window[order[0]].deadline) {
+				teardown(fmt.Sprintf("cell deadline (%v) exceeded with %d in flight", c.cfg.CellTimeout, len(order)))
+				return
+			}
+		case <-jobsC:
+			stop()
+		case <-quitC:
+			stop()
+			quitSeen = true
+			quitC = nil
 		}
 	}
 }
 
-// awaitHello enforces the handshake: exactly one version-matched hello
-// before any cell is trusted to this connection.
+// awaitHello enforces the handshake: exactly one version-negotiated hello
+// before any cell is trusted to this connection. A v2 hello's credits set
+// the window (capped by MaxDepth); a v1 hello runs at one credit.
 func (c *Coordinator) awaitHello(cn *distConn) bool {
 	timer := time.NewTimer(c.cfg.CellTimeout)
 	defer timer.Stop()
@@ -417,22 +740,35 @@ func (c *Coordinator) awaitHello(cn *distConn) bool {
 			c.logf("worker %s: first message %q, want hello; dropping", cn.name, m.Type)
 			return false
 		}
-		if m.Version != distrib.Version {
-			c.logf("worker %s: protocol version %d, want %d; dropping", cn.name, m.Version, distrib.Version)
+		if m.Version < distrib.MinVersion || m.Version > distrib.Version {
+			c.logf("worker %s: protocol version %d, want %d–%d; dropping", cn.name, m.Version, distrib.MinVersion, distrib.Version)
 			return false
+		}
+		depth := 1
+		if m.Version >= 2 {
+			depth = m.Credits
+			if depth > c.cfg.MaxDepth {
+				depth = c.cfg.MaxDepth
+			}
+			if depth < 1 {
+				depth = 1
+			}
 		}
 		if cn.remote && m.Worker != "" {
 			cn.name = m.Worker
 		}
 		c.mu.Lock()
 		cn.helloed = true
+		cn.depth = depth
 		c.ready++
+		c.totalDepth += depth
 		st, ok := c.workers[cn.name]
 		if !ok {
 			st = &workerStat{}
 			c.workers[cn.name] = st
 		}
 		c.mu.Unlock()
+		st.depth.Store(int64(depth))
 		cn.stat = st
 		return true
 	case err := <-cn.readErr:
@@ -446,72 +782,22 @@ func (c *Coordinator) awaitHello(cn *distConn) bool {
 	}
 }
 
-// runCellOn dispatches one cell and awaits its terminal reply. A false
-// return means the connection is compromised (the job has already been
-// requeued) and the serve loop must tear it down.
-func (c *Coordinator) runCellOn(cn *distConn, j *distJob) bool {
-	c.mu.Lock()
-	c.nextID++
-	id := c.nextID
-	c.mu.Unlock()
-	c.dispatched.Add(1)
-	start := time.Now()
-	if wd, ok := cn.w.(interface{ SetWriteDeadline(time.Time) error }); ok {
-		wd.SetWriteDeadline(start.Add(c.cfg.CellTimeout)) //nolint:errcheck // best-effort
-	}
-	if err := distrib.Write(cn.w, distrib.Msg{Type: distrib.TypeCell, ID: id, Kind: j.kind, Spec: j.spec}); err != nil {
-		c.requeue(j, cn.name, fmt.Sprintf("write: %v", err))
-		return false
-	}
-	timer := time.NewTimer(c.cfg.CellTimeout)
-	defer timer.Stop()
-	select {
-	case m := <-cn.incoming:
-		switch {
-		case m.Type == distrib.TypeResult && m.ID == id:
-			j.done <- m.Value
-			c.completed.Add(1)
-			cn.stat.completed.Add(1)
-			cn.stat.busyNanos.Add(time.Since(start).Nanoseconds())
-			return true
-		case m.Type == distrib.TypeError && m.ID == id:
-			// Permanent: the cell itself failed. Rerunning the same pure
-			// function on another worker cannot change the outcome, so
-			// resolve to local compute and let the caller's own error path
-			// surface it.
-			c.failed.Add(1)
-			c.fallbacks.Add(1)
-			c.logf("worker %s: cell %d failed remotely: %s; computing locally", cn.name, id, m.Error)
-			j.done <- nil
-			return true
-		case m.Type == distrib.TypeResult || m.Type == distrib.TypeError:
-			c.requeue(j, cn.name, fmt.Sprintf("stale %s for cell %d while %d in flight", m.Type, m.ID, id))
-			return false
-		default:
-			c.requeue(j, cn.name, fmt.Sprintf("unexpected %q message", m.Type))
-			return false
-		}
-	case err := <-cn.readErr:
-		c.requeue(j, cn.name, err.Error())
-		return false
-	case <-timer.C:
-		c.requeue(j, cn.name, fmt.Sprintf("cell %d deadline (%v) exceeded", id, c.cfg.CellTimeout))
-		return false
-	}
-}
-
 // requeue reassigns a cell after a transport or protocol failure, with
-// seeded exponential backoff, until its retry budget runs out.
+// seeded exponential backoff, until its retry budget runs out. Retried
+// cells re-enter at the head of the queue so they are not starved behind
+// the rest of the sweep.
 func (c *Coordinator) requeue(j *distJob, worker, reason string) {
 	c.logf("worker %s: %s; reassigning cell", worker, reason)
 	j.attempts++
 	if j.attempts > c.cfg.Retries {
 		c.logf("cell out of retries (%d); computing locally", c.cfg.Retries)
-		c.fallbacks.Add(1)
-		j.done <- nil
+		c.resolve(j, distOutcome{})
 		return
 	}
 	c.retried.Add(1)
+	c.mu.Lock()
+	j.state = jobParked
+	c.mu.Unlock()
 	delay := c.backoff(j.attempts)
 	go func() {
 		if delay > 0 {
@@ -520,16 +806,12 @@ func (c *Coordinator) requeue(j *distJob, worker, reason string) {
 			case <-t.C:
 			case <-c.quit:
 				t.Stop()
-				c.fallbacks.Add(1)
-				j.done <- nil
+				c.resolve(j, distOutcome{})
 				return
 			}
 		}
-		select {
-		case c.jobs <- j:
-		case <-c.quit:
-			c.fallbacks.Add(1)
-			j.done <- nil
+		if !c.enqueue(j, true) {
+			c.resolve(j, distOutcome{})
 		}
 	}()
 }
@@ -547,30 +829,44 @@ func (c *Coordinator) backoff(attempt int) time.Duration {
 	return base + jitter
 }
 
-// Exec offers one cell to the fleet and blocks until it resolves. ok=false
-// means the caller must compute the cell in-process — the coordinator
-// guarantees termination, not remote execution.
-func (c *Coordinator) Exec(kind string, spec []byte) (json.RawMessage, bool) {
+// exec offers one cell to the fleet and blocks until it resolves. An empty
+// outcome means the caller must compute the cell in-process — the
+// coordinator guarantees termination, not remote execution. An outcome
+// with a release hook is a steal grant: a phantom local slot claimed the
+// cell for the caller, who must call release after its local compute.
+func (c *Coordinator) exec(kind string, spec []byte) distOutcome {
 	c.mu.Lock()
 	if c.draining || c.live == 0 {
 		c.mu.Unlock()
-		return nil, false
+		return distOutcome{}
 	}
 	c.execs.Add(1)
 	c.mu.Unlock()
 	defer c.execs.Done()
-	j := &distJob{kind: kind, spec: spec, done: make(chan json.RawMessage, 1)}
-	select {
-	case c.jobs <- j:
-	case <-c.quit:
+	j := &distJob{kind: kind, spec: spec, done: make(chan distOutcome, 1)}
+	if !c.enqueue(j, false) {
 		c.fallbacks.Add(1)
+		return distOutcome{}
+	}
+	out := <-j.done
+	if out.value == nil && out.release == nil {
+		c.fallbacks.Add(1)
+	}
+	return out
+}
+
+// Exec is the test-facing wrapper over exec: it reports ok=false for any
+// locally-computed resolution, releasing a steal grant immediately since
+// the caller owns no slot discipline.
+func (c *Coordinator) Exec(kind string, spec []byte) (json.RawMessage, bool) {
+	out := c.exec(kind, spec)
+	if out.release != nil {
+		out.release()
+	}
+	if out.value == nil {
 		return nil, false
 	}
-	v := <-j.done
-	if v == nil {
-		return nil, false
-	}
-	return v, true
+	return out.value, true
 }
 
 // noteBadValue records a remote result that did not decode into the
@@ -604,8 +900,10 @@ func (c *Coordinator) AwaitWorkers(n int, timeout time.Duration) error {
 }
 
 // Parallelism reports how many cells the fleet can hold concurrently —
-// runIndexed widens its goroutine pool to at least this so remote workers
-// never idle behind a narrow local -j.
+// the sum of every ready connection's negotiated window, one for each
+// connection still in its handshake, plus the phantom local slots.
+// runIndexed widens its goroutine pool to at least this so neither remote
+// windows nor steal slots ever idle behind a narrow local -j.
 func (c *Coordinator) Parallelism() int {
 	if c == nil {
 		return 0
@@ -615,7 +913,7 @@ func (c *Coordinator) Parallelism() int {
 	if c.draining {
 		return 0
 	}
-	return c.live
+	return c.totalDepth + (c.live - c.ready) + c.cfg.LocalSlots
 }
 
 // WorkerPIDs snapshots the live local worker process IDs (fault-injection
@@ -632,14 +930,21 @@ func (c *Coordinator) WorkerPIDs() []int {
 }
 
 // beginDrain flips the coordinator into drain mode exactly once: no new
-// cells are accepted, in-flight cells finish (or time out), everything
-// else resolves to local compute.
+// cells are accepted, in-flight cells finish (or time out), and every
+// queued cell resolves to local compute.
 func (c *Coordinator) beginDrain() {
 	c.drainOnce.Do(func() {
 		c.mu.Lock()
 		c.draining = true
+		pending := c.pending
+		c.pending = nil
 		c.mu.Unlock()
 		close(c.quit)
+		// Queued cells go back to their callers as local compute; their
+		// senders are blocked on done, so this is what unsticks them.
+		for _, j := range pending {
+			c.resolve(j, distOutcome{})
+		}
 		if c.ln != nil {
 			c.ln.Close()
 		}
@@ -678,9 +983,16 @@ type DistStats struct {
 	// results that did not decode.
 	Retried, Failed, BadValues uint64
 	// LocalFallback counts cells resolved by in-process compute after the
-	// fleet could not serve them.
-	LocalFallback uint64
-	Workers       []WorkerDistStats
+	// fleet could not serve them. Stolen counts cells the phantom local
+	// slots claimed from the queue tail — local compute by choice, not
+	// failure, so they are not fallbacks.
+	LocalFallback, Stolen uint64
+	// OutOfOrder counts results that arrived ahead of an older
+	// still-outstanding cell on the same connection — pipelining visibly
+	// at work. Deduped counts suppressed duplicate enqueues (always zero
+	// unless an ownership bug was caught).
+	OutOfOrder, Deduped uint64
+	Workers             []WorkerDistStats
 }
 
 // WorkerDistStats is one worker's share of the sweep.
@@ -689,6 +1001,12 @@ type WorkerDistStats struct {
 	Completed uint64  `json:"completed"`
 	BusyMS    int64   `json:"busy_ms"`
 	CellsPerS float64 `json:"cells_per_s"`
+	// Depth is the negotiated in-flight window (credits), InFlight the
+	// cells currently unanswered, OutOfOrder the results this worker
+	// returned ahead of an older outstanding cell.
+	Depth      int    `json:"depth"`
+	InFlight   int    `json:"in_flight"`
+	OutOfOrder uint64 `json:"out_of_order"`
 }
 
 // Stats snapshots the counters (zero for a nil coordinator).
@@ -703,6 +1021,9 @@ func (c *Coordinator) Stats() DistStats {
 		Failed:        c.failed.Load(),
 		BadValues:     c.badValues.Load(),
 		LocalFallback: c.fallbacks.Load(),
+		Stolen:        c.stolen.Load(),
+		OutOfOrder:    c.outOfOrder.Load(),
+		Deduped:       c.deduped.Load(),
 	}
 	c.mu.Lock()
 	names := make([]string, 0, len(c.workers))
@@ -713,9 +1034,12 @@ func (c *Coordinator) Stats() DistStats {
 	for _, name := range names {
 		st := c.workers[name]
 		w := WorkerDistStats{
-			Name:      name,
-			Completed: st.completed.Load(),
-			BusyMS:    st.busyNanos.Load() / 1e6,
+			Name:       name,
+			Completed:  st.completed.Load(),
+			BusyMS:     st.busyNanos.Load() / 1e6,
+			Depth:      int(st.depth.Load()),
+			InFlight:   int(st.inflight.Load()),
+			OutOfOrder: st.outOfOrder.Load(),
 		}
 		if busy := st.busyNanos.Load(); busy > 0 {
 			w.CellsPerS = float64(w.Completed) / (float64(busy) / 1e9)
@@ -735,8 +1059,14 @@ func (c *Coordinator) Summary() string {
 	s := c.Stats()
 	line := fmt.Sprintf("dist: %d dispatched, %d completed, %d retried, %d failed, %d local",
 		s.Dispatched, s.Completed, s.Retried, s.Failed, s.LocalFallback)
+	if s.Stolen > 0 {
+		line += fmt.Sprintf(", %d stolen", s.Stolen)
+	}
+	if s.OutOfOrder > 0 {
+		line += fmt.Sprintf(", %d out-of-order", s.OutOfOrder)
+	}
 	for _, w := range s.Workers {
-		line += fmt.Sprintf("; %s %d cells (%.1f/s)", w.Name, w.Completed, w.CellsPerS)
+		line += fmt.Sprintf("; %s %d cells (%.1f/s, depth %d)", w.Name, w.Completed, w.CellsPerS, w.Depth)
 	}
 	return line
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -25,14 +26,15 @@ type pipeWorker struct {
 
 // startPipeWorker runs ServeWorker in-process and attaches it to c. The
 // connection is registered as remote so its capacity unit is surrendered on
-// detach (matching a TCP worker's lifecycle, which has no respawn).
-func startPipeWorker(tb testing.TB, c *Coordinator, name string, r Runner) *pipeWorker {
+// detach (matching a TCP worker's lifecycle, which has no respawn). depth
+// is the credit window the worker advertises (<=0 means the default).
+func startPipeWorker(tb testing.TB, c *Coordinator, name string, r Runner, depth int) *pipeWorker {
 	tb.Helper()
 	cellR, cellW := io.Pipe()     // coordinator → worker
 	resultR, resultW := io.Pipe() // worker → coordinator
 	quit := make(chan struct{})
 	go func() {
-		ServeWorker(cellR, resultW, r, name, quit, io.Discard) //nolint:errcheck // pipe teardown errors are expected
+		ServeWorker(cellR, resultW, r, name, depth, quit, io.Discard) //nolint:errcheck // pipe teardown errors are expected
 		resultW.Close()
 	}()
 	kill := func() {
@@ -47,13 +49,20 @@ func startPipeWorker(tb testing.TB, c *Coordinator, name string, r Runner) *pipe
 	return &pipeWorker{crash: kill}
 }
 
-// pipeFleet builds a transport-free coordinator with n in-process workers.
+// pipeFleet builds a transport-free coordinator with n in-process workers,
+// each advertising the default credit window.
 func pipeFleet(tb testing.TB, n int, cfg CoordinatorConfig) (*Coordinator, []*pipeWorker) {
+	tb.Helper()
+	return pipeFleetDepth(tb, n, 0, cfg)
+}
+
+// pipeFleetDepth is pipeFleet with an explicit per-worker credit window.
+func pipeFleetDepth(tb testing.TB, n, depth int, cfg CoordinatorConfig) (*Coordinator, []*pipeWorker) {
 	tb.Helper()
 	c := newCoordinator(cfg)
 	workers := make([]*pipeWorker, n)
 	for i := range workers {
-		workers[i] = startPipeWorker(tb, c, fmt.Sprintf("pipe-%d", i), Runner{Workers: 1})
+		workers[i] = startPipeWorker(tb, c, fmt.Sprintf("pipe-%d", i), Runner{Workers: 1}, depth)
 	}
 	if err := c.AwaitWorkers(n, 10*time.Second); err != nil {
 		tb.Fatal(err)
@@ -193,7 +202,7 @@ func TestDistChaosMisbehavingWorkers(t *testing.T) {
 	c := newCoordinator(cfg)
 
 	hello := func(w io.Writer) {
-		distrib.Write(w, distrib.Msg{Type: distrib.TypeHello, Version: distrib.Version, Worker: "chaos"}) //nolint:errcheck
+		distrib.Write(w, distrib.Msg{Type: distrib.TypeHello, Version: distrib.Version, Worker: "chaos", Credits: 1}) //nolint:errcheck
 	}
 	// Garbage: answers its first cell with a line that is not JSON.
 	attachScripted(t, c, "garbage", func(rd *distrib.Reader, w io.Writer) {
@@ -228,7 +237,7 @@ func TestDistChaosMisbehavingWorkers(t *testing.T) {
 		select {} //nolint:staticcheck // deliberately wedged
 	})
 	// One honest worker keeps the fleet alive.
-	startPipeWorker(t, c, "honest", Runner{Workers: 1})
+	startPipeWorker(t, c, "honest", Runner{Workers: 1}, 0)
 
 	cfgPt := quickCfg()
 	cfgPt.Network = networks.PointToPoint
@@ -325,6 +334,324 @@ func TestDistAllWorkersDeadAutoDrain(t *testing.T) {
 		t.Fatalf("post-crash result %s != serial %s", a, b)
 	}
 	c.Close()
+}
+
+// TestDistDepthSweepByteIdentity pins byte-identity across the pipelining
+// axis: every (workers, depth) combination — including depth 1, the v1
+// stop-and-wait discipline — renders the same CSV as serial.
+func TestDistDepthSweepByteIdentity(t *testing.T) {
+	cfg := quickCfg()
+	loads := []float64{0.005, 0.01, 0.015, 0.02, 0.025, 0.03}
+	render := func(r Runner) string {
+		panel, err := Figure6PanelWith(r, cfg, "uniform",
+			[]networks.Kind{networks.PointToPoint}, loads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := WriteFigure6CSV(&b, panel); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	serial := render(Serial)
+	for _, n := range []int{1, 2, 4} {
+		for _, depth := range []int{1, 4, 8} {
+			c, _ := pipeFleetDepth(t, n, depth, testFleetConfig())
+			got := render(Runner{Dist: c})
+			st := c.Stats()
+			c.Close()
+			if got != serial {
+				t.Errorf("workers=%d depth=%d: distributed CSV differs from serial", n, depth)
+			}
+			if st.Completed == 0 || st.LocalFallback != 0 || st.Failed != 0 {
+				t.Errorf("workers=%d depth=%d: unhealthy stats: %+v", n, depth, st)
+			}
+			for _, w := range st.Workers {
+				if w.Depth != depth {
+					t.Errorf("workers=%d depth=%d: worker %s negotiated depth %d", n, depth, w.Name, w.Depth)
+				}
+			}
+		}
+	}
+}
+
+// TestDistOutOfOrderResults pins the v2 correlator: a worker that holds a
+// full window and answers in reverse dispatch order still resolves every
+// cell to its own caller, and the inversions are counted.
+func TestDistOutOfOrderResults(t *testing.T) {
+	const window = 3
+	c := newCoordinator(testFleetConfig())
+	defer c.Close()
+	attachScripted(t, c, "reverser", func(rd *distrib.Reader, w io.Writer) {
+		distrib.Write(w, distrib.Msg{Type: distrib.TypeHello, Version: distrib.Version, Worker: "reverser", Credits: window}) //nolint:errcheck
+		var cells []distrib.Msg
+		for len(cells) < window {
+			m, err := rd.Read()
+			if err != nil {
+				return
+			}
+			if m.Type == distrib.TypeCell {
+				cells = append(cells, m)
+			}
+		}
+		r := Runner{Workers: 1}
+		for i := len(cells) - 1; i >= 0; i-- {
+			distrib.Write(w, executeCell(r, cells[i])) //nolint:errcheck
+		}
+		for {
+			if _, err := rd.Read(); err != nil {
+				return
+			}
+		}
+	})
+	if err := c.AwaitWorkers(1, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	base := quickCfg()
+	base.Network = networks.PointToPoint
+	base.Pattern = traffic.Uniform{Grid: base.Params.Grid}
+	loads := []float64{0.01, 0.02, 0.04}
+	var wg sync.WaitGroup
+	errs := make([]string, window)
+	for i, load := range loads {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg := base
+			cfg.Load = load
+			cfg.Seed = PointSeed(1, cfg.Network, "uniform", load)
+			value, ok := c.Exec(CellLoadPoint, mustMarshal(t, specForLoadPoint(cfg)))
+			if !ok {
+				errs[i] = fmt.Sprintf("load %v: cell fell back locally", load)
+				return
+			}
+			want := mustMarshal(t, RunLoadPoint(cfg))
+			if string(value) != string(want) {
+				errs[i] = fmt.Sprintf("load %v: %s != %s", load, value, want)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != "" {
+			t.Error(e)
+		}
+	}
+	st := c.Stats()
+	if st.Completed != window {
+		t.Fatalf("completed %d cells, want %d: %+v", st.Completed, window, st)
+	}
+	if st.OutOfOrder != window-1 {
+		t.Errorf("OutOfOrder = %d, want %d (reverse order inverts all but the last reply): %+v",
+			st.OutOfOrder, window-1, st)
+	}
+}
+
+// TestDistUnknownCellIDTeardown pins the credit-overflow arm: a result for
+// an ID the coordinator never dispatched tears the connection down and
+// requeues every cell in its window exactly once — the answered cell stays
+// answered, the orphaned one resolves without ever running twice.
+func TestDistUnknownCellIDTeardown(t *testing.T) {
+	cfg := testFleetConfig()
+	c := newCoordinator(cfg)
+	defer c.Close()
+	attachScripted(t, c, "overflow", func(rd *distrib.Reader, w io.Writer) {
+		distrib.Write(w, distrib.Msg{Type: distrib.TypeHello, Version: distrib.Version, Worker: "overflow", Credits: 4}) //nolint:errcheck
+		var cells []distrib.Msg
+		for len(cells) < 2 {
+			m, err := rd.Read()
+			if err != nil {
+				return
+			}
+			if m.Type == distrib.TypeCell {
+				cells = append(cells, m)
+			}
+		}
+		r := Runner{Workers: 1}
+		distrib.Write(w, executeCell(r, cells[0]))                                               //nolint:errcheck
+		distrib.Write(w, distrib.Msg{Type: distrib.TypeResult, ID: 999999, Value: []byte(`{}`)}) //nolint:errcheck
+		for {
+			if _, err := rd.Read(); err != nil {
+				return
+			}
+		}
+	})
+	if err := c.AwaitWorkers(1, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	base := quickCfg()
+	base.Network = networks.PointToPoint
+	base.Pattern = traffic.Uniform{Grid: base.Params.Grid}
+	type outcome struct {
+		ok    bool
+		value string
+		want  string
+	}
+	results := make([]outcome, 2)
+	var wg sync.WaitGroup
+	for i, load := range []float64{0.01, 0.02} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg := base
+			cfg.Load = load
+			cfg.Seed = PointSeed(1, cfg.Network, "uniform", load)
+			value, ok := c.Exec(CellLoadPoint, mustMarshal(t, specForLoadPoint(cfg)))
+			results[i] = outcome{ok: ok, value: string(value), want: string(mustMarshal(t, RunLoadPoint(cfg)))}
+		}()
+	}
+	wg.Wait()
+
+	remote, local := 0, 0
+	for i, r := range results {
+		if r.ok {
+			remote++
+			if r.value != r.want {
+				t.Errorf("cell %d: remote value %s != serial %s", i, r.value, r.want)
+			}
+		} else {
+			local++
+		}
+	}
+	// The answered cell came back remotely; the orphaned one resolved to
+	// local compute after the teardown drained the lone-worker fleet.
+	if remote != 1 || local != 1 {
+		t.Errorf("want exactly 1 remote + 1 local resolution, got %d remote / %d local: %+v", remote, local, c.Stats())
+	}
+	st := c.Stats()
+	if st.Completed != 1 {
+		t.Errorf("Completed = %d, want 1: %+v", st.Completed, st)
+	}
+	if st.Deduped != 0 {
+		t.Errorf("Deduped = %d, want 0 (no duplicate enqueue should ever fire): %+v", st.Deduped, st)
+	}
+}
+
+// TestDistV1WorkerMixedFleet pins the version negotiation: a v1 peer (no
+// credits field) joins a v2 fleet, runs at a window of one, serves correct
+// cells, and the sweep stays byte-identical.
+func TestDistV1WorkerMixedFleet(t *testing.T) {
+	c := newCoordinator(testFleetConfig())
+	attachScripted(t, c, "v1", func(rd *distrib.Reader, w io.Writer) {
+		distrib.Write(w, distrib.Msg{Type: distrib.TypeHello, Version: 1, Worker: "v1-proc"}) //nolint:errcheck
+		r := Runner{Workers: 1}
+		for {
+			m, err := rd.Read()
+			if err != nil || m.Type == distrib.TypeShutdown {
+				return
+			}
+			if m.Type == distrib.TypeCell {
+				distrib.Write(w, executeCell(r, m)) //nolint:errcheck
+			}
+		}
+	})
+	startPipeWorker(t, c, "v2-proc", Runner{Workers: 1}, 8)
+	if err := c.AwaitWorkers(2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := quickCfg()
+	render := func(r Runner) string {
+		panel, err := Figure6PanelWith(r, cfg, "uniform",
+			[]networks.Kind{networks.PointToPoint}, []float64{0.005, 0.01, 0.015, 0.02, 0.025, 0.03})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := WriteFigure6CSV(&b, panel); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	serial := render(Serial)
+	got := render(Runner{Dist: c})
+	st := c.Stats()
+	c.Close()
+	if got != serial {
+		t.Errorf("mixed v1/v2 fleet CSV differs from serial\nserial:\n%s\ngot:\n%s", serial, got)
+	}
+	if st.LocalFallback != 0 || st.Failed != 0 || st.Retried != 0 {
+		t.Errorf("mixed fleet should be healthy: %+v", st)
+	}
+	depths := map[string]int{}
+	for _, w := range st.Workers {
+		depths[w.Name] = w.Depth
+	}
+	if depths["v1-proc"] != 1 {
+		t.Errorf("v1 worker negotiated depth %d, want 1", depths["v1-proc"])
+	}
+	if depths["v2-proc"] != 8 {
+		t.Errorf("v2 worker negotiated depth %d, want 8", depths["v2-proc"])
+	}
+}
+
+// TestDistLocalStealing pins the phantom-worker arm: with LocalSlots
+// configured and a slow fleet, local cores steal cells from the queue
+// tail, the steals are counted separately from fallbacks, and the output
+// stays byte-identical.
+func TestDistLocalStealing(t *testing.T) {
+	cfg := testFleetConfig()
+	cfg.LocalSlots = 4
+	c := newCoordinator(cfg)
+	// One deliberately slow worker: correct answers, one credit, a pause
+	// per cell — the backlog the steal slots exist to absorb.
+	attachScripted(t, c, "slow", func(rd *distrib.Reader, w io.Writer) {
+		distrib.Write(w, distrib.Msg{Type: distrib.TypeHello, Version: distrib.Version, Worker: "slow", Credits: 1}) //nolint:errcheck
+		r := Runner{Workers: 1}
+		for {
+			m, err := rd.Read()
+			if err != nil || m.Type == distrib.TypeShutdown {
+				return
+			}
+			if m.Type == distrib.TypeCell {
+				time.Sleep(30 * time.Millisecond)
+				distrib.Write(w, executeCell(r, m)) //nolint:errcheck
+			}
+		}
+	})
+	if err := c.AwaitWorkers(1, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	cfgPt := quickCfg()
+	render := func(r Runner) string {
+		panel, err := Figure6PanelWith(r, cfgPt, "uniform",
+			[]networks.Kind{networks.PointToPoint}, []float64{0.005, 0.01, 0.015, 0.02, 0.025, 0.03, 0.035, 0.04})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := WriteFigure6CSV(&b, panel); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	serial := render(Serial)
+	got := render(Runner{Dist: c})
+	st := c.Stats()
+	c.Close()
+	if got != serial {
+		t.Errorf("stealing sweep CSV differs from serial\nserial:\n%s\ngot:\n%s", serial, got)
+	}
+	if st.Stolen == 0 {
+		t.Errorf("no cells stolen despite 4 local slots against a slow worker: %+v", st)
+	}
+	if st.Failed != 0 || st.Retried != 0 {
+		t.Errorf("stealing fleet should be failure-free: %+v", st)
+	}
+}
+
+// mustMarshal is the test-local canonical encoder.
+func mustMarshal(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
 }
 
 // TestCellSpecsRoundTrip pins that every cell kind's wire spec round-trips

@@ -284,27 +284,33 @@ func RunCell(r Runner, kind string, spec []byte) (any, error) {
 	}
 }
 
-// distCell dispatches one typed cell to the coordinator fleet. ok=false
-// means "compute locally" — the coordinator is absent, draining, out of
-// workers, or the cell failed remotely; the sweep never depends on remote
-// success for completeness.
-func distCell[T any](d *Coordinator, kind string, spec any) (T, bool) {
-	var zero T
+// distCell dispatches one typed cell to the coordinator fleet and falls
+// back to local when the fleet cannot serve it — the coordinator is
+// absent, draining, out of workers, the cell failed remotely, or the
+// result did not decode; the sweep never depends on remote success for
+// completeness. A steal grant (a phantom local slot claimed the cell from
+// the queue tail) also runs local, holding the slot for the duration so
+// steals stay bounded by what the local cores can absorb.
+func distCell[T any](d *Coordinator, kind string, spec any, local func() T) T {
 	if d == nil {
-		return zero, false
+		return local()
 	}
 	data, err := json.Marshal(spec)
 	if err != nil {
-		return zero, false
+		return local()
 	}
-	value, ok := d.Exec(kind, data)
-	if !ok {
-		return zero, false
+	out := d.exec(kind, data)
+	if out.release != nil {
+		defer out.release()
+		return local()
+	}
+	if out.value == nil {
+		return local()
 	}
 	var v T
-	if err := json.Unmarshal(value, &v); err != nil {
+	if err := json.Unmarshal(out.value, &v); err != nil {
 		d.noteBadValue(kind, err)
-		return zero, false
+		return local()
 	}
-	return v, true
+	return v
 }

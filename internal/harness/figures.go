@@ -7,6 +7,7 @@ import (
 
 	"macrochip/internal/complexity"
 	"macrochip/internal/core"
+	"macrochip/internal/expcache"
 	"macrochip/internal/networks"
 	"macrochip/internal/power"
 	"macrochip/internal/sim"
@@ -70,14 +71,23 @@ func Figure6With(r Runner, base LoadPointConfig) []Figure6Panel {
 			}
 		}
 	}
-	points := runIndexed(r, len(jobs), func(i int) LoadPoint {
-		j := jobs[i]
+	cfgAt := func(j job) LoadPointConfig {
 		cfg := base
 		cfg.Network = j.kind
 		cfg.Pattern = j.pat
 		cfg.Load = j.load
 		cfg.Seed = PointSeed(base.Seed, j.kind, j.pat.Name(), j.load)
-		return cachedLoadPoint(r, cfg)
+		return cfg
+	}
+	if r.Cache != nil && !base.Obs.Enabled() {
+		keys := make([]expcache.Key, len(jobs))
+		for i, j := range jobs {
+			keys[i] = loadPointKey(cfgAt(j))
+		}
+		r.Cache.Prefetch(keys)
+	}
+	points := runIndexed(r, len(jobs), func(i int) LoadPoint {
+		return cachedLoadPoint(r, cfgAt(jobs[i]))
 	})
 	panels := []Figure6Panel{}
 	i := 0
@@ -126,14 +136,23 @@ func Figure6PanelWith(r Runner, base LoadPointConfig, pattern string, kinds []ne
 			jobs = append(jobs, job{k, load})
 		}
 	}
-	points := runIndexed(r, len(jobs), func(i int) LoadPoint {
-		j := jobs[i]
+	cfgAt := func(j job) LoadPointConfig {
 		cfg := base
 		cfg.Network = j.kind
 		cfg.Pattern = pat
 		cfg.Load = j.load
 		cfg.Seed = PointSeed(base.Seed, j.kind, pat.Name(), j.load)
-		return cachedLoadPoint(r, cfg)
+		return cfg
+	}
+	if r.Cache != nil && !base.Obs.Enabled() {
+		keys := make([]expcache.Key, len(jobs))
+		for i, j := range jobs {
+			keys[i] = loadPointKey(cfgAt(j))
+		}
+		r.Cache.Prefetch(keys)
+	}
+	points := runIndexed(r, len(jobs), func(i int) LoadPoint {
+		return cachedLoadPoint(r, cfgAt(jobs[i]))
 	})
 	panel := Figure6Panel{Pattern: pat.Name()}
 	i := 0

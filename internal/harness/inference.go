@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"macrochip/internal/core"
+	"macrochip/internal/expcache"
 	"macrochip/internal/fault"
 	"macrochip/internal/networks"
 	"macrochip/internal/opgraph"
@@ -285,6 +286,13 @@ func InferenceStudyWith(r Runner, cfg InferenceConfig) ([]InferencePoint, error)
 				}
 			}
 		}
+	}
+	if r.Cache != nil {
+		keys := make([]expcache.Key, len(jobs))
+		for i, j := range jobs {
+			keys[i] = inferencePointKey(cfg, j.k, j.graph, j.batch, j.seq)
+		}
+		r.Cache.Prefetch(keys)
 	}
 	return runIndexed(r, len(jobs), func(i int) InferencePoint {
 		j := jobs[i]

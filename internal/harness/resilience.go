@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"macrochip/internal/core"
+	"macrochip/internal/expcache"
 	"macrochip/internal/fault"
 	"macrochip/internal/networks"
 	"macrochip/internal/sim"
@@ -171,6 +172,13 @@ func ResilienceStudyWith(r Runner, cfg ResilienceConfig) []ResiliencePoint {
 				jobs = append(jobs, job{k, c, rate})
 			}
 		}
+	}
+	if r.Cache != nil {
+		keys := make([]expcache.Key, len(jobs))
+		for i, j := range jobs {
+			keys[i] = resiliencePointKey(cfg, j.k, j.c, j.rate)
+		}
+		r.Cache.Prefetch(keys)
 	}
 	return runIndexed(r, len(jobs), func(i int) ResiliencePoint {
 		j := jobs[i]

@@ -98,6 +98,94 @@ func TestCacheEntryErrors(t *testing.T) {
 	}
 }
 
+// TestCacheEntryBatchRoute pins GET /v1/cache/entries?keys=...: present
+// keys come back byte-for-byte in one answer, absent keys are omitted (not
+// errors), and the failure grammar matches the per-key routes — malformed
+// key 400, missing parameter 400, oversized wave 400, disabled cache 503.
+func TestCacheEntryBatchRoute(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+	present := []expcache.Key{entryKey(10), entryKey(11)}
+	entries := map[string][]byte{}
+	for i, key := range present {
+		entry := []byte(`{"mean_ns":` + strings.Repeat("4", i+1) + `}`)
+		entries[key.Hex()] = entry
+		if code, body := putEntry(t, ts.URL+"/v1/cache/entries/"+key.Hex(), entry); code != http.StatusOK {
+			t.Fatalf("PUT = %d: %s", code, body)
+		}
+	}
+	absent := entryKey(12)
+
+	query := present[0].Hex() + "," + present[1].Hex() + "," + absent.Hex()
+	code, _, body := get(t, ts.URL+"/v1/cache/entries?keys="+query)
+	if code != http.StatusOK {
+		t.Fatalf("batch GET = %d: %s", code, body)
+	}
+	var doc struct {
+		Entries map[string]json.RawMessage `json:"entries"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("batch answer not JSON: %v\n%s", err, body)
+	}
+	if len(doc.Entries) != len(present) {
+		t.Fatalf("batch served %d entries, want %d: %s", len(doc.Entries), len(present), body)
+	}
+	for hex, want := range entries {
+		if got, ok := doc.Entries[hex]; !ok || string(got) != string(want) {
+			t.Fatalf("entry %s = %q, %v; want %q", hex, got, ok, want)
+		}
+	}
+	if _, ok := doc.Entries[absent.Hex()]; ok {
+		t.Fatal("absent key present in batch answer")
+	}
+
+	if code, _, body := get(t, ts.URL+"/v1/cache/entries?keys="); code != http.StatusBadRequest {
+		t.Fatalf("empty keys = %d: %s", code, body)
+	}
+	if code, _, body := get(t, ts.URL+"/v1/cache/entries?keys=zz"); code != http.StatusBadRequest {
+		t.Fatalf("malformed key = %d: %s", code, body)
+	}
+	huge := strings.Repeat(present[0].Hex()+",", maxBatchEntryKeys) + present[0].Hex()
+	if code, _, body := get(t, ts.URL+"/v1/cache/entries?keys="+huge); code != http.StatusBadRequest {
+		t.Fatalf("oversized wave = %d: %s", code, body)
+	}
+
+	_, noCache, _ := newTestServer(t, func(c *Config) { c.Runner = harness.Runner{} })
+	if code, _, body := get(t, noCache.URL+"/v1/cache/entries?keys="+present[0].Hex()); code != http.StatusServiceUnavailable {
+		t.Fatalf("disabled-cache batch GET = %d: %s", code, body)
+	}
+}
+
+// TestCacheEntryBatchFeedsPrefetch pins the whole prefetch loop in one
+// process: entries published to the daemon come down through
+// HTTPRemote.GetBatch into a worker-side cache via Prefetch, after which
+// lookups are local hits.
+func TestCacheEntryBatchFeedsPrefetch(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+	keys := []expcache.Key{entryKey(20), entryKey(21)}
+	for i, key := range keys {
+		entry := []byte(`{"published":` + strings.Repeat("7", i+1) + `}`)
+		if code, body := putEntry(t, ts.URL+"/v1/cache/entries/"+key.Hex(), entry); code != http.StatusOK {
+			t.Fatalf("PUT = %d: %s", code, body)
+		}
+	}
+
+	worker, err := expcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker.SetRemote(expcache.NewHTTPRemote(ts.URL))
+	worker.Prefetch(keys)
+	st := worker.Stats()
+	if st.Prefetched != uint64(len(keys)) || st.RemoteErrors != 0 {
+		t.Fatalf("prefetch against the live daemon: %+v, want %d prefetched", st, len(keys))
+	}
+	for _, key := range keys {
+		if _, ok := worker.EntryBytes(key); !ok {
+			t.Fatalf("entry %s absent after prefetch", key.Hex())
+		}
+	}
+}
+
 // TestCacheEntryFeedsExperiments pins the rendezvous end to end inside one
 // process: an entry published over HTTP under the key a harness point would
 // use is then served to that point as a cache hit — the daemon's GET/PUT

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"macrochip/internal/expcache"
@@ -229,6 +231,70 @@ func (s *Server) handleCacheEntryGet(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(data) //nolint:errcheck // response already committed
+}
+
+// maxBatchEntryKeys caps one batch request's key list — a bound on the
+// response size and the per-request filesystem work, matched to the
+// client's own chunking (expcache.HTTPRemote splits larger waves).
+const maxBatchEntryKeys = 512
+
+// handleCacheEntryBatch is GET /v1/cache/entries?keys=hex,hex,...: serve
+// every requested entry the store has in one round trip — the prefetch
+// read of a distributed sweep wave. Absent keys are simply omitted from
+// the answer; a malformed key is a 400 (the client computed it, so a bad
+// one is a bug, not a miss).
+func (s *Server) handleCacheEntryBatch(w http.ResponseWriter, r *http.Request) {
+	c := s.Cache()
+	if c == nil {
+		writeError(w, http.StatusServiceUnavailable, "result cache disabled", "")
+		return
+	}
+	raw := r.URL.Query().Get("keys")
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, "missing keys parameter", "keys")
+		return
+	}
+	hexes := strings.Split(raw, ",")
+	if len(hexes) > maxBatchEntryKeys {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("too many keys (%d, max %d)", len(hexes), maxBatchEntryKeys), "keys")
+		return
+	}
+	type served struct {
+		hex  string
+		data []byte
+	}
+	entries := make([]served, 0, len(hexes))
+	for _, hex := range hexes {
+		key, err := expcache.ParseKey(hex)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error(), "keys")
+			return
+		}
+		if data, ok := c.EntryBytes(key); ok {
+			entries = append(entries, served{hex, data})
+			s.entriesServed.Add(1)
+		}
+	}
+	// The envelope is assembled by hand, not writeJSON: re-encoding would
+	// reformat the nested raw entries, and the batch route must hand back
+	// exactly the bytes the per-key GET serves so prefetched entries land
+	// on workers byte-identical to locally computed ones. Every entry was
+	// validated as JSON at publish and again by EntryBytes, so splicing is
+	// safe.
+	var buf bytes.Buffer
+	buf.WriteString(`{"entries":{`)
+	for i, e := range entries {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, "%q:", e.hex)
+		buf.Write(e.data)
+	}
+	buf.WriteString("}}\n")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes()) //nolint:errcheck // the response is already committed
 }
 
 // handleCacheEntryPut is PUT /v1/cache/entries/{key}: publish one entry

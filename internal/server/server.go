@@ -125,6 +125,7 @@ func New(cfg Config) *Server {
 	api.HandleFunc("GET /v1/experiments/{id}", s.handleStatus)
 	api.HandleFunc("GET /v1/experiments/{id}/result", s.handleResult)
 	api.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
+	api.HandleFunc("GET /v1/cache/entries", s.handleCacheEntryBatch)
 	api.HandleFunc("GET /v1/cache/entries/{key}", s.handleCacheEntryGet)
 	api.HandleFunc("PUT /v1/cache/entries/{key}", s.handleCacheEntryPut)
 	api.HandleFunc("GET /v1/dist/stats", s.handleDistStats)
